@@ -1,0 +1,52 @@
+"""Bench: ablation — analysis-pipeline design choices.
+
+DESIGN.md §5 items 2 and 3: PCA depth before the Euclidean distance,
+and the paper's Eq. (1) max-intra-golden threshold vs percentile
+thresholds.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablation import sweep_pca_dimensions, threshold_study
+
+
+def test_ablation_pca_dimensions(benchmark, chip, sim_scenario):
+    points = run_once(
+        benchmark, sweep_pca_dimensions, chip, sim_scenario, "trojan4"
+    )
+
+    print("\n=== ablation: PCA depth vs Trojan-4 detection ===")
+    print(f"{'components':>11} {'AUC':>7} {'separation':>11}")
+    for p in points:
+        label = "raw" if p.n_components is None else str(p.n_components)
+        print(f"{label:>11} {p.auc:>7.3f} {p.separation:>11.3f}")
+
+    by_depth = {p.n_components: p for p in points}
+    # The raw pipeline already detects T4 essentially perfectly.
+    assert by_depth[None].auc > 0.9
+    # Collapsing to very few components still leaves the loud Trojan
+    # visible (its energy dominates the leading components).
+    assert by_depth[2].auc > 0.7
+
+
+def test_ablation_threshold_rules(benchmark, chip, sim_scenario):
+    points = run_once(benchmark, threshold_study, chip, sim_scenario, "trojan4")
+
+    print("\n=== ablation: Eq. (1) threshold vs percentile thresholds ===")
+    print(f"{'rule':>8} {'threshold':>10} {'TPR':>6} {'FPR':>6}")
+    for p in points:
+        print(
+            f"{p.rule:>8} {p.threshold:>10.3f} "
+            f"{p.true_positive_rate:>6.2f} {p.false_positive_rate:>6.2f}"
+        )
+
+    by_rule = {p.rule: p for p in points}
+    # Eq. (1)'s max threshold is by construction the most conservative:
+    # zero false positives on the golden data that defined it.
+    assert by_rule["eq1-max"].false_positive_rate == 0.0
+    # Percentile thresholds trade false positives for sensitivity.
+    assert (
+        by_rule["p90"].true_positive_rate
+        >= by_rule["eq1-max"].true_positive_rate
+    )
+    assert by_rule["p90"].false_positive_rate >= 0.05

@@ -1,0 +1,49 @@
+"""Bench: ablation — sensor coil geometry and probe standoff.
+
+DESIGN.md §5 items 1 and 4: how the spiral's turn count trades
+resistance/area against SNR, and how quickly the external probe's SNR
+decays with standoff (the quantitative version of "the signal intensity
+of direct EM radiation is closely related to the distance between the
+chip and the probe").
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablation import sweep_probe_standoff, sweep_sensor_turns
+
+
+def test_ablation_sensor_turns(benchmark):
+    points = run_once(benchmark, sweep_sensor_turns, (4, 8, 12, 16))
+
+    print("\n=== ablation: spiral turns vs sensor SNR ===")
+    print(f"{'turns':>6} {'R [ohm]':>9} {'A_eff [mm2]':>12} {'SNR [dB]':>9}")
+    for p in points:
+        print(
+            f"{int(p.parameter):>6} {p.extra['resistance_ohm']:>9.1f} "
+            f"{p.extra['effective_area_mm2']:>12.3f} {p.snr_db:>9.2f}"
+        )
+
+    # Monotonic electrical trends with turn count.
+    resistances = [p.extra["resistance_ohm"] for p in points]
+    areas = [p.extra["effective_area_mm2"] for p in points]
+    assert resistances == sorted(resistances)
+    assert areas == sorted(areas)
+    # More turns gather more flux: the 16-turn coil clearly beats the
+    # 4-turn one (intermediate points can dip where the spiral's
+    # geometry changes which rails it overlays).
+    by_turns = {int(p.parameter): p.snr_db for p in points}
+    assert by_turns[16] > by_turns[4] + 2.0
+
+
+def test_ablation_probe_standoff(benchmark):
+    points = run_once(benchmark, sweep_probe_standoff)
+
+    print("\n=== ablation: probe standoff vs probe SNR ===")
+    print(f"{'standoff [um]':>14} {'SNR [dB]':>9}")
+    for p in points:
+        print(f"{p.parameter * 1e6:>14.0f} {p.snr_db:>9.2f}")
+
+    # SNR decays monotonically with distance.
+    snrs = [p.snr_db for p in points]
+    assert snrs == sorted(snrs, reverse=True)
+    assert snrs[0] - snrs[-1] > 1.5

@@ -1,0 +1,41 @@
+"""Bench: Section IV-C — simulated Euclidean distances of the Trojans.
+
+Paper (on-chip sensor, simulation): T1 = 0.27, T2 = 0.25, T3 = 0.05,
+T4 = 0.28 — "those distances are highly distinguishable in the scenario
+of simulations".  The shape requirements checked here: every Trojan's
+separation clears the golden sampling floor except possibly T3 (the
+paper's hardest case), T3 is by far the smallest, and T4 is the
+largest.
+"""
+
+from conftest import run_once
+
+from repro.experiments.euclidean import PAPER_EUCLIDEAN, run_euclidean_experiment
+
+
+def test_euclidean_distances_simulation(benchmark, chip, sim_scenario):
+    result = run_once(
+        benchmark,
+        run_euclidean_experiment,
+        chip,
+        sim_scenario,
+    )
+
+    print("\n=== Section IV-C: simulated Euclidean distances ===")
+    print(result.format())
+
+    seps = result.separations
+    # T3 is the hardest Trojan by a wide margin.
+    others = [seps[t] for t in ("trojan1", "trojan2", "trojan4")]
+    assert seps["trojan3"] < 0.6 * min(others)
+    # T4 (power waster) is the loudest.
+    assert seps["trojan4"] == max(seps.values())
+    # Every separation is positive and bounded (unit-norm space).
+    for name, value in seps.items():
+        assert 0 < value < 2.0, name
+    # The big three are detected outright.
+    for name in ("trojan1", "trojan2", "trojan4"):
+        assert result.reports[name].detected, name
+    # Order-of-magnitude agreement with the paper's numbers.
+    for name, ref in PAPER_EUCLIDEAN.items():
+        assert seps[name] < 8 * ref, (name, seps[name], ref)

@@ -1,0 +1,59 @@
+"""Bench: Figure 3 — layout of the circuits with the on-chip sensor.
+
+The die photo itself cannot be reproduced in software; this bench
+regenerates its *structure*: the AES block, the four Trojan regions and
+the A2 cell each in their own placement region, the spiral sensor
+covering the whole die on the topmost metal layer, and the sensor's
+area/wiring overhead statistics.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.layout.floorplan import Floorplan
+
+
+def _layout_report(chip) -> dict:
+    fp: Floorplan = chip.floorplan
+    sensor = chip.sensor
+    coil_trace_area = sensor.length() * sensor.trace_width
+    return {
+        "floorplan": fp.summary(),
+        "sensor": sensor.describe(),
+        "die_area_mm2": fp.die.area * 1e6,
+        "coil_metal_fraction": coil_trace_area / fp.die.area,
+        "n_segments": chip.grid.n_segments,
+    }
+
+
+def test_fig3_layout(benchmark, chip):
+    report = run_once(benchmark, _layout_report, chip)
+
+    print("\n=== Figure 3: layout with on-chip sensor ===")
+    print(report["floorplan"])
+    print(report["sensor"])
+    print(f"die area: {report['die_area_mm2']:.3f} mm^2")
+    print(
+        f"sensor metal usage: {100 * report['coil_metal_fraction']:.1f}% of "
+        "the top-layer area (the only change to the original design)"
+    )
+    print(f"power grid: {report['n_segments']} segments")
+
+    # Every subsystem of the paper's die is present as a region.
+    fp = chip.floorplan
+    assert set(fp.regions) == {
+        "aes", "trojan1", "trojan2", "trojan3", "trojan4", "a2",
+    }
+    # The AES occupies the dominant block (Fig. 3 left side).
+    areas = {g: r.rect.area for g, r in fp.regions.items()}
+    assert areas["aes"] > 0.5 * fp.die.area
+    # The sensor coil covers the die but stays within it.
+    extent = np.abs(
+        chip.sensor.polyline[:, :2] - np.array(fp.die.center)
+    ).max()
+    assert 0.3 * fp.die.width < extent < 0.5 * min(fp.die.width, fp.die.height)
+    # Sensor-only top layer: all routing sits below M6.
+    z_top = chip.tech.layer("M6").z
+    assert chip.grid.seg_start[:, 2].max() < z_top
+    # The add-on stays lightweight: coil uses a small share of M6.
+    assert report["coil_metal_fraction"] < 0.25

@@ -1,0 +1,41 @@
+"""Bench: Figure 6(a)-(d) — external-probe Euclidean-distance histograms.
+
+Paper: "all the Trojan activated stripes are not separated with the
+original circuit's data ... the peaks of distributions of original
+circuit and Trojan activated circuit are not separable."  The key
+quantitative shape: the probe's golden/Trojan distributions overlap far
+more than the sensor's (see the sensor bench), with T3 nearly fully
+overlapped.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import run_fig6_histograms
+
+
+def test_fig6_probe_histograms(benchmark, chip, sil_scenario):
+    result = run_once(
+        benchmark,
+        run_fig6_histograms,
+        chip,
+        sil_scenario,
+        "probe",
+        n_golden=1200,
+        n_suspect=1200,
+    )
+
+    print("\n=== Figure 6(a)-(d): probe distance histograms ===")
+    print(result.format())
+    print("\nTrojan 3 panel (the most-overlapped case):")
+    print(result.panels["trojan3"].histogram.render(width=64, height=8))
+
+    # T3's distributions are almost completely overlapped ("the two EM
+    # radiations in Figure 6(c) are almost completely overlapped").
+    assert result.panels["trojan3"].overlap > 0.5
+    # Overlap ordering follows Trojan size: T3 overlaps most.
+    overlaps = {name: p.overlap for name, p in result.panels.items()}
+    assert overlaps["trojan3"] == max(overlaps.values())
+    # Every distribution remains in the unit-norm range of the paper's
+    # axes (0 .. ~1.5).
+    for panel in result.panels.values():
+        assert panel.trojan_distances.max() < 2.0

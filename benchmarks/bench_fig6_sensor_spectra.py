@@ -1,0 +1,49 @@
+"""Bench: Figure 6(i)-(l) — sensor FFT spectra of the four Trojans.
+
+Paper's reading: T1 "introduces extra energy at a lower frequency
+range"; T2 and T4 introduce "significant amplitude increase in a number
+of frequency spots" with T4's peaks higher than T2's; T3's "frequency
+spots are not distinguished clearly because of the extreme low
+overhead".
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import run_fig6_spectra
+
+
+def test_fig6_sensor_spectra(benchmark, chip, sil_scenario):
+    result = run_once(
+        benchmark,
+        run_fig6_spectra,
+        chip,
+        sil_scenario,
+        n_cycles=2048,
+    )
+
+    print("\n=== Figure 6(i)-(l): sensor spectra ===")
+    print(result.format())
+    for name, panel in result.panels.items():
+        g12 = panel.suspect.magnitude_at(12e6) / panel.golden.magnitude_at(12e6)
+        g750 = panel.suspect.magnitude_at(750e3) / panel.golden.magnitude_at(750e3)
+        print(f"  {name}: 750 kHz x{g750:.2f}, 12 MHz x{g12:.2f}")
+
+    panels = result.panels
+    # (i) T1 adds low-frequency energy (its 750 kHz carrier comb).
+    assert panels["trojan1"].low_freq_energy_ratio > 1.25
+    # (l) T4 lifts its 12 MHz-comb spots strongly...
+    t4_12 = panels["trojan4"].suspect.magnitude_at(12e6) / panels[
+        "trojan4"
+    ].golden.magnitude_at(12e6)
+    assert t4_12 > 1.3
+    # ...more than T2 lifts the same spots ("overall energy peaks for
+    # Trojan 4 are higher than that for Trojan 2").
+    t2_12 = panels["trojan2"].suspect.magnitude_at(12e6) / panels[
+        "trojan2"
+    ].golden.magnitude_at(12e6)
+    assert t4_12 > t2_12
+    # (k) T3 remains spectrally indistinct.
+    assert 0.7 < panels["trojan3"].total_energy_ratio < 1.4
+    assert panels["trojan3"].low_freq_energy_ratio < panels[
+        "trojan1"
+    ].low_freq_energy_ratio

@@ -1,0 +1,43 @@
+"""Bench: runtime detection latency + Trojan localisation.
+
+Two framework-level figures of merit beyond the paper's tables: how
+many encryption windows the streaming monitor needs to raise the alarm
+after a Trojan activates, and whether the EM field difference map
+points at the Trojan's floorplan region ("location awareness").
+"""
+
+from conftest import run_once
+
+from repro.experiments.latency import run_detection_latency
+from repro.experiments.localization import run_localization
+
+
+def test_runtime_detection_latency(benchmark, chip, sim_scenario):
+    result = run_once(
+        benchmark,
+        run_detection_latency,
+        chip,
+        sim_scenario,
+        trojans=("trojan1", "trojan2", "trojan4"),
+        horizon=384,
+    )
+
+    print("\n=== runtime detection latency ===")
+    print(result.format())
+
+    assert result.false_alarms_on_golden == 0
+    for trojan in ("trojan1", "trojan2", "trojan4"):
+        latency = result.latency_windows[trojan]
+        assert latency is not None, f"{trojan} missed"
+        # Milliseconds-scale reaction at 24 MHz.
+        assert result.latency_seconds(trojan) < 1e-3
+
+
+def test_trojan_localization(benchmark, chip):
+    result = run_once(benchmark, run_localization, chip)
+
+    print("\n=== Trojan localisation (field difference maps) ===")
+    print(result.format())
+
+    for trojan in ("trojan1", "trojan2", "trojan4"):
+        assert result.localised(trojan), result.located_region[trojan]

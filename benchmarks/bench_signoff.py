@@ -1,0 +1,55 @@
+"""Bench: design signoff — STA, DRC and power of the full test chip.
+
+The add-on claim of the paper ("can be easily integrated into the IC
+design flow ... no runtime performance degradation ... [prior on-chip
+structures] cause undesired area and power overhead") as a signoff
+run: the die must close timing at 24 MHz, pass DRC, and the passive
+sensor must add zero switching power while the dormant Trojans stay
+within leakage.
+"""
+
+from conftest import run_once
+
+from repro.experiments.campaign import DEFAULT_KEY
+from repro.layout.drc import run_drc
+from repro.logic.timing import analyze_timing
+from repro.power.report import encryption_power_workload, measure_power
+
+
+def _signoff(chip):
+    timing = analyze_timing(chip.netlist, clock_period=chip.config.t_clk)
+    drc = run_drc(chip)
+    power = measure_power(
+        chip.netlist,
+        chip.sim,
+        chip.tech,
+        chip.config.f_clk,
+        encryption_power_workload(chip.aes, DEFAULT_KEY, n_cycles=96, batch=8),
+    )
+    return timing, drc, power
+
+
+def test_signoff(benchmark, chip):
+    timing, drc, power = run_once(benchmark, _signoff, chip)
+
+    print("\n=== signoff: timing ===")
+    print(timing.format())
+    print("\n=== signoff: DRC ===")
+    print(drc.format())
+    print("\n=== signoff: power (dormant Trojans) ===")
+    print(power.format())
+
+    # Timing closes at the chip's 24 MHz clock.
+    assert timing.met, timing.format()
+    # Physical design is clean.
+    assert drc.clean, drc.format()
+    # The sensor is a passive coil: no cells, no power entry at all.
+    assert "sensor" not in power.groups
+    # Dormant Trojans draw (almost) nothing: their combined non-leakage
+    # power stays under 2% of the AES's.
+    aes_active = power.groups["aes"].dynamic + power.groups["aes"].clock
+    for name, grp in power.groups.items():
+        if name.startswith("trojan") or name == "a2":
+            assert grp.dynamic + grp.clock < 0.02 * aes_active, name
+    # The AES burns single-digit milliwatts at 24 MHz in 180 nm.
+    assert 0.3e-3 < power.total < 30e-3

@@ -1,0 +1,31 @@
+"""Bench: Section V-A — measured SNR on the fabricated chip.
+
+Paper: sensor 30.5489 dB, probe 13.8684 dB.  The probe must degrade
+relative to the Section IV simulation (packaging, bench noise, scope)
+while the sensor holds — the asymmetry that motivates the whole paper.
+"""
+
+from conftest import run_once
+
+from repro.experiments.snr import PAPER_SNR, run_snr_experiment
+
+
+def test_snr_fabricated(benchmark, chip, sim_scenario, sil_scenario):
+    result = run_once(benchmark, run_snr_experiment, chip, sil_scenario)
+
+    print("\n=== Section V-A: fabricated-chip SNR ===")
+    print(result.format())
+
+    sensor = result.per_receiver["sensor"].snr_db
+    probe = result.per_receiver["probe"].snr_db
+    paper = PAPER_SNR["silicon"]
+    assert abs(sensor - paper["sensor"]) < 2.0
+    assert abs(probe - paper["probe"]) < 2.0
+    # Shape: silicon widens the gap to ~17 dB.
+    assert sensor - probe > 12.0
+
+    # Cross-scenario shape: the probe loses SNR on silicon, the sensor
+    # does not (compare against the simulation scenario).
+    sim_result = run_snr_experiment(chip, sim_scenario)
+    assert probe < sim_result.per_receiver["probe"].snr_db
+    assert abs(sensor - sim_result.per_receiver["sensor"].snr_db) < 2.5

@@ -1,0 +1,30 @@
+"""Bench: Table I — Trojan sizes compared to the whole AES design.
+
+Regenerates the paper's Table I from the generated netlists and prints
+both next to each other.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table1 import PAPER_TABLE1, run_table1
+
+
+def test_table1_trojan_sizes(benchmark, chip):
+    result = run_once(benchmark, run_table1, chip)
+
+    print("\n=== Table I: Trojan sizes compared to the whole AES design ===")
+    print(result.format())
+    print("\npaper reference:")
+    for name, (gates, pct) in PAPER_TABLE1.items():
+        gate_txt = f"{gates}" if gates is not None else "n/a"
+        print(f"  {name:<9} gates={gate_txt:<7} {pct}%")
+
+    by_name = {row.circuit: row for row in result.rows}
+    # Shape assertions: each Trojan's relative size stays in the
+    # paper's class, and the ordering T2 ~= T4 > T1 >> T3 holds.
+    assert 4.0 < by_name["trojan1"].percentage < 7.0
+    assert 7.0 < by_name["trojan2"].percentage < 10.0
+    assert 0.4 < by_name["trojan3"].percentage < 1.2
+    assert 7.0 < by_name["trojan4"].percentage < 10.0
+    assert by_name["a2"].is_area_percentage
+    assert by_name["a2"].percentage < 0.2

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+One chip and one pair of SNR-calibrated scenarios serve every bench;
+the benches run each experiment once (``rounds=1``) because a single
+campaign already averages thousands of traces internally.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip import silicon_scenario, simulation_scenario
+from repro.chip.calibration import calibrate_scenario
+from repro.experiments import shared_chip
+
+
+@pytest.fixture(scope="session")
+def chip():
+    """The paper's full test chip."""
+    return shared_chip(seed=1)
+
+
+@pytest.fixture(scope="session")
+def sim_scenario(chip):
+    """Calibrated Section IV (simulation) scenario."""
+    return calibrate_scenario(chip, simulation_scenario())
+
+
+@pytest.fixture(scope="session")
+def sil_scenario(chip):
+    """Calibrated Section V (fabricated chip) scenario."""
+    return calibrate_scenario(chip, silicon_scenario())
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""End-to-end attack demo: recover secret-key bits from Trojan 1's
+750 kHz AM transmission, straight from the EM trace.
+
+This is the attacker's side of the paper's Trojan 1 ("the leaked
+information can be demodulated with a wireless radio receiver"): we
+play the radio receiver, the defender's on-chip sensor plays the
+antenna.
+
+Run:  python examples/am_key_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.demod import demodulate_am_bits
+from repro.chip import AcquisitionEngine, Chip, EncryptionWorkload, simulation_scenario
+from repro.trojans.t1_am import CYCLES_PER_BIT, Trojan1Params
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def key_bits(key: bytes, start: int, count: int) -> list[int]:
+    return [
+        (key[i // 8] >> (7 - i % 8)) & 1 for i in range(start, start + count)
+    ]
+
+
+def main() -> None:
+    # Start the leaker's frame at bit 0 so the demodulated stream lines
+    # up with the key from its first bit.
+    chip = Chip.build(
+        seed=1,
+        trojans=("trojan1",),
+        trojan_params={"trojan1": Trojan1Params(frame_init=0)},
+    )
+    engine = AcquisitionEngine(chip, simulation_scenario())
+
+    n_bits = 24
+    n_cycles = (n_bits + 1) * CYCLES_PER_BIT
+    print(f"capturing {n_cycles} cycles of EM while the chip encrypts...")
+    # A real AM receiver integrates the repeating 16384-cycle frame
+    # many times to average the bench noise away; we shortcut that by
+    # capturing the noise-free signal path once (the covert channel
+    # itself, not the receiver's averaging loop, is what this example
+    # demonstrates).
+    result = engine.acquire(
+        EncryptionWorkload(chip.aes, KEY, period=12),
+        n_cycles=n_cycles,
+        batch=1,
+        trojan_enables=("trojan1",),
+        include_noise=False,
+        rng_role="am-demo",
+    )
+    trace = result.traces["sensor"][0]
+
+    bit_duration = CYCLES_PER_BIT / chip.config.f_clk
+    recovered = demodulate_am_bits(
+        trace,
+        fs=chip.config.fs,
+        carrier_freq=750e3,
+        bit_duration=bit_duration,
+        n_bits=n_bits,
+        start_time=1.0 / chip.config.f_clk,
+    )
+    expected = key_bits(KEY, 0, n_bits)
+    matches = int(np.sum(np.array(expected) == recovered))
+    print("expected bits :", "".join(map(str, expected)))
+    print("recovered bits:", "".join(map(str, recovered)))
+    print(f"{matches}/{n_bits} bits recovered correctly")
+    if matches >= n_bits - 2:
+        print("the Trojan's covert channel works — and so would the attack.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""CPA key-recovery attack on the chip's own EM traces.
+
+Validation of leakage realism: if the simulated EM traces behave like
+real side-channel measurements, the textbook last-round CPA attack
+must start recovering AES key bytes from them — and it does.
+
+Run:  python examples/cpa_attack.py [n_traces]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.cpa import cpa_attack
+from repro.chip import Chip, simulation_scenario
+from repro.chip.calibration import calibrate_scenario
+from repro.crypto.aes import encrypt_block, expand_key
+from repro.experiments.campaign import DEFAULT_KEY, collect_attack_traces
+
+
+def main() -> None:
+    n_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    print("building the (Trojan-free) AES chip...")
+    chip = Chip.build(seed=1, trojans=())
+    scenario = calibrate_scenario(chip, simulation_scenario())
+
+    print(f"capturing {n_traces} sensor traces...")
+    traces, plaintexts = collect_attack_traces(chip, scenario, n_traces)
+    ciphertexts = np.stack(
+        [
+            np.frombuffer(encrypt_block(bytes(p), DEFAULT_KEY), np.uint8)
+            for p in plaintexts
+        ]
+    )
+
+    spc = chip.config.samples_per_cycle
+    window = (11 * spc - 20, 11 * spc + 120)  # the final-round edge
+    print("running last-round CPA over all 16 key bytes...")
+    result = cpa_attack(
+        traces, ciphertexts, expand_key(DEFAULT_KEY)[10], sample_window=window
+    )
+    print()
+    print(result.format())
+    print(
+        f"\n(random guessing would average rank 127.5; "
+        f"ours is {result.mean_rank():.1f} — the traces leak.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

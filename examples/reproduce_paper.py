@@ -1,0 +1,99 @@
+"""One-shot paper reproduction: run every table/figure experiment and
+write a machine-readable report.
+
+This is the scripted equivalent of the benchmark suite, for users who
+want the numbers (JSON + stdout) without pytest.  Expect ~10 minutes.
+
+Run:  python examples/reproduce_paper.py [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.chip import silicon_scenario, simulation_scenario
+from repro.chip.calibration import calibrate_scenario
+from repro.experiments import (
+    run_a2_spectrum,
+    run_euclidean_experiment,
+    run_fig6_histograms,
+    run_fig6_spectra,
+    run_snr_experiment,
+    run_table1,
+    shared_chip,
+)
+from repro.io import save_json_report
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.json"
+    t0 = time.time()
+    report: dict = {}
+
+    print("building the test chip...")
+    chip = shared_chip(seed=1)
+    sim = calibrate_scenario(chip, simulation_scenario())
+    sil = calibrate_scenario(chip, silicon_scenario())
+
+    print("\n[Table I] Trojan sizes")
+    table1 = run_table1(chip)
+    print(table1.format())
+    report["table1"] = {
+        row.circuit: {"gates": row.gate_count, "percent": row.percentage}
+        for row in table1.rows
+    }
+
+    for label, scenario in (("IV-B", sim), ("V-A", sil)):
+        print(f"\n[{label}] SNR")
+        snr = run_snr_experiment(chip, scenario)
+        print(snr.format())
+        report[f"snr_{scenario.name}"] = {
+            name: res.snr_db for name, res in snr.per_receiver.items()
+        }
+
+    print("\n[IV-C] Euclidean distances")
+    euclid = run_euclidean_experiment(chip, sim)
+    print(euclid.format())
+    report["euclidean"] = euclid.separations
+
+    print("\n[Fig. 4] A2 spectrum")
+    a2 = run_a2_spectrum(chip, sim, n_cycles=2048)
+    print(a2.format())
+    report["fig4"] = {
+        "trigger_mhz": a2.trigger_frequency / 1e6,
+        "gain": a2.magnitude_ratio_at_trigger(),
+        "detected": a2.detected,
+    }
+
+    for receiver in ("probe", "sensor"):
+        print(f"\n[Fig. 6] {receiver} histograms")
+        hist = run_fig6_histograms(
+            chip, sil, receiver, n_golden=800, n_suspect=800
+        )
+        print(hist.format())
+        report[f"fig6_{receiver}"] = {
+            name: {
+                "overlap": panel.overlap,
+                "peak_shift_sigma": panel.peak_shift_sigma,
+            }
+            for name, panel in hist.panels.items()
+        }
+
+    print("\n[Fig. 6 i-l] sensor spectra")
+    spectra = run_fig6_spectra(chip, sil, n_cycles=2048)
+    print(spectra.format())
+    report["fig6_spectra"] = {
+        name: {
+            "low_freq_energy_ratio": p.low_freq_energy_ratio,
+            "total_energy_ratio": p.total_energy_ratio,
+        }
+        for name, p in spectra.panels.items()
+    }
+
+    save_json_report(report, out_path)
+    print(f"\nreport written to {out_path} ({time.time() - t0:.0f}s total)")
+
+
+if __name__ == "__main__":
+    main()

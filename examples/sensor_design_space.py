@@ -1,0 +1,78 @@
+"""Sensor design-space exploration (the paper's Section VI future work:
+"the structure of the on-chip EM sensor will also be enhanced to
+increase the SNR").
+
+Sweeps the spiral's turn count and the external probe's standoff and
+reports the resulting coil properties and SNR, using the same physical
+chain as the main experiments.
+
+Run:  python examples/sensor_design_space.py
+"""
+
+from __future__ import annotations
+
+from repro.chip import (
+    AcquisitionEngine,
+    Chip,
+    ChipConfig,
+    EncryptionWorkload,
+    IdleWorkload,
+    simulation_scenario,
+)
+from repro.em.snr import measure_snr
+from repro.units import UM
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def snr_of(chip: Chip, receiver: str) -> float:
+    """Record-level SNR of one receiver under the standard workload."""
+    engine = AcquisitionEngine(chip, simulation_scenario())
+    sig = engine.acquire(
+        EncryptionWorkload(chip.aes, KEY, period=12),
+        n_cycles=256,
+        batch=4,
+        rng_role="design/sig",
+    )
+    noi = engine.acquire(
+        IdleWorkload(), n_cycles=256, batch=4, rng_role="design/noise"
+    )
+    return measure_snr(sig.traces[receiver], noi.traces[receiver]).snr_db
+
+
+def main() -> None:
+    print("=== spiral turn count vs sensor properties ===")
+    print(f"{'turns':>6} {'R [ohm]':>9} {'A_eff [mm^2]':>13} {'SNR [dB]':>9}")
+    for turns in (4, 8, 12, 16):
+        chip = Chip.build(
+            config=ChipConfig(sensor_turns=turns), trojans=(), seed=1
+        )
+        print(
+            f"{turns:>6} {chip.sensor.resistance():>9.1f} "
+            f"{chip.sensor.effective_area() * 1e6:>13.3f} "
+            f"{snr_of(chip, 'sensor'):>9.2f}"
+        )
+
+    print("\n=== probe standoff vs probe SNR (direct die radiation) ===")
+    print(f"{'standoff [um]':>14} {'SNR [dB]':>9}")
+    for standoff in (50 * UM, 100 * UM, 200 * UM, 400 * UM):
+        # Package-loop pickup is standoff-independent at these
+        # distances; switch it off to expose the near-field decay.
+        chip = Chip.build(
+            config=ChipConfig(
+                probe_standoff=standoff, package_loop_coupling=0.0
+            ),
+            trojans=(),
+            seed=1,
+        )
+        print(f"{standoff * 1e6:>14.0f} {snr_of(chip, 'probe'):>9.2f}")
+
+    print(
+        "\nThe on-chip coil's SNR saturates once its own thermal noise"
+        "\ndominates; the probe decays with standoff — the paper's"
+        "\nlocality argument in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

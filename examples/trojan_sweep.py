@@ -1,0 +1,46 @@
+"""Trojan sweep: Section IV-C's Euclidean-distance table plus Fig. 6
+histogram summaries for every digital Trojan, on both receivers.
+
+Run:  python examples/trojan_sweep.py          (simulation scenario)
+      python examples/trojan_sweep.py silicon  (fabricated-chip scenario)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.chip import silicon_scenario, simulation_scenario
+from repro.chip.calibration import calibrate_scenario
+from repro.experiments import (
+    run_euclidean_experiment,
+    run_fig6_histograms,
+    shared_chip,
+)
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "simulation"
+    base = silicon_scenario() if which == "silicon" else simulation_scenario()
+
+    chip = shared_chip(seed=1)
+    scenario = calibrate_scenario(chip, base)
+
+    print(f"=== Euclidean distances ({which}) ===")
+    result = run_euclidean_experiment(chip, scenario)
+    print(result.format())
+    print()
+
+    for receiver in ("probe", "sensor"):
+        print(f"=== Fig. 6 histograms via the {receiver} ({which}) ===")
+        hist = run_fig6_histograms(
+            chip, scenario, receiver, n_golden=600, n_suspect=600
+        )
+        print(hist.format())
+        # Render the paper's most telling panel: Trojan 4.
+        print("\nTrojan 4 distance histogram (g = golden, T = trojan):")
+        print(hist.panels["trojan4"].histogram.render(width=64, height=8))
+        print()
+
+
+if __name__ == "__main__":
+    main()

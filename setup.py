@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` cannot build the editable wheel that PEP 660
+requires.  This shim lets ``python setup.py develop`` (which pip falls
+back to with ``--no-build-isolation`` on legacy setuptools) install the
+package in editable mode; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""Side-channel data analysis — the trusted off-chip module of Fig. 1.
+
+Implements the paper's analysis chain: trace preprocessing and
+standardisation (:mod:`~repro.analysis.preprocess`), PCA dimensionality
+reduction (:mod:`~repro.analysis.pca`), the Euclidean-distance detector
+with the Eq. (1) max-intra-golden threshold
+(:mod:`~repro.analysis.euclidean`), FFT spectral inspection for
+A2-style Trojans (:mod:`~repro.analysis.spectral`), plus histogram
+utilities for the Fig. 6 views, payload demodulators that prove the
+Trojans actually leak (:mod:`~repro.analysis.demod`) and detection
+metrics (:mod:`~repro.analysis.metrics`).
+"""
+
+from repro.analysis.preprocess import (
+    segment_traces,
+    standardize_traces,
+    trace_align,
+)
+from repro.analysis.pca import PCA
+from repro.analysis.euclidean import (
+    EuclideanDetector,
+    euclidean_distances,
+    max_intra_distance,
+)
+from repro.analysis.spectral import (
+    Spectrum,
+    amplitude_spectrum,
+    band_energy,
+    compare_spectra,
+    find_peaks_above,
+)
+from repro.analysis.histogram import distance_histogram, histogram_overlap, peak_separation
+from repro.analysis.demod import (
+    demodulate_am_bits,
+    despread_cdma_bits,
+    leakage_symbol_bits,
+)
+from repro.analysis.metrics import DetectionMetrics, roc_curve, score_detection
+from repro.analysis.cpa import CpaResult, cpa_attack, last_round_predictions
+from repro.analysis.tvla import TvlaResult, welch_t_test
+from repro.analysis.spectrogram import Spectrogram, detect_activation_time, spectrogram
+
+__all__ = [
+    "segment_traces",
+    "standardize_traces",
+    "trace_align",
+    "PCA",
+    "EuclideanDetector",
+    "euclidean_distances",
+    "max_intra_distance",
+    "Spectrum",
+    "amplitude_spectrum",
+    "band_energy",
+    "compare_spectra",
+    "find_peaks_above",
+    "distance_histogram",
+    "histogram_overlap",
+    "peak_separation",
+    "demodulate_am_bits",
+    "despread_cdma_bits",
+    "leakage_symbol_bits",
+    "DetectionMetrics",
+    "roc_curve",
+    "score_detection",
+    "CpaResult",
+    "cpa_attack",
+    "last_round_predictions",
+    "TvlaResult",
+    "welch_t_test",
+    "Spectrogram",
+    "detect_activation_time",
+    "spectrogram",
+]

@@ -1,0 +1,168 @@
+"""Frequency-domain analysis — the A2 path of the framework.
+
+"The data collected by the on-chip sensor is processed in the frequency
+domain to identify the abnormal fast flipping Trojan trigger signals."
+The comparison logic follows Section IV-D: if the Trojan's transition
+frequency T coincides with an existing spot g (e.g. the clock), detect
+by the *magnitude increase* at g; otherwise detect the *new spot*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class Spectrum:
+    """Single-sided amplitude spectrum."""
+
+    freqs: np.ndarray
+    amplitude: np.ndarray
+
+    def magnitude_at(self, frequency: float, tolerance: float | None = None) -> float:
+        """Peak amplitude within ``frequency ± tolerance``.
+
+        *tolerance* defaults to two frequency bins.
+        """
+        df = float(self.freqs[1] - self.freqs[0]) if self.freqs.size > 1 else 0.0
+        tol = tolerance if tolerance is not None else 2.0 * df
+        mask = np.abs(self.freqs - frequency) <= tol
+        if not mask.any():
+            raise AnalysisError(
+                f"no spectral bins within {tol} Hz of {frequency} Hz"
+            )
+        return float(self.amplitude[mask].max())
+
+    def band(self, f_lo: float, f_hi: float) -> "Spectrum":
+        """Restriction to ``[f_lo, f_hi]``."""
+        if f_hi <= f_lo:
+            raise AnalysisError(f"empty band [{f_lo}, {f_hi}]")
+        mask = (self.freqs >= f_lo) & (self.freqs <= f_hi)
+        return Spectrum(self.freqs[mask], self.amplitude[mask])
+
+
+def amplitude_spectrum(
+    traces: np.ndarray,
+    fs: float,
+    window: str = "hann",
+    average: bool = True,
+) -> Spectrum:
+    """Windowed FFT amplitude spectrum, averaged over trace rows.
+
+    Parameters
+    ----------
+    traces:
+        1-D record or ``(batch, samples)``.
+    fs:
+        Sample rate [Hz].
+    window:
+        ``"hann"`` or ``"rect"``.
+    average:
+        Average the magnitude over the batch (incoherent averaging, as
+        a spectrum analyser would).
+    """
+    x = np.asarray(traces, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.ndim != 2 or x.shape[1] < 8:
+        raise AnalysisError(f"need (batch, samples>=8) traces, got {x.shape}")
+    n = x.shape[1]
+    if window == "hann":
+        w = np.hanning(n)
+    elif window == "rect":
+        w = np.ones(n)
+    else:
+        raise AnalysisError(f"unknown window {window!r}")
+    scale = 2.0 / w.sum()
+    spec = np.abs(np.fft.rfft(x * w[None, :], axis=1)) * scale
+    freqs = np.fft.rfftfreq(n, d=1.0 / fs)
+    amp = spec.mean(axis=0) if average else spec
+    return Spectrum(freqs=freqs, amplitude=amp)
+
+
+def band_energy(spectrum: Spectrum, f_lo: float, f_hi: float) -> float:
+    """Sum of squared amplitudes within a band (relative energy)."""
+    sub = spectrum.band(f_lo, f_hi)
+    return float((sub.amplitude**2).sum())
+
+
+def find_peaks_above(
+    spectrum: Spectrum,
+    floor_factor: float = 8.0,
+    min_separation_bins: int = 3,
+) -> list[tuple[float, float]]:
+    """Local maxima exceeding ``floor_factor`` × median amplitude.
+
+    Returns ``(frequency, amplitude)`` pairs sorted by amplitude,
+    strongest first.
+    """
+    amp = spectrum.amplitude
+    if amp.size < 3:
+        raise AnalysisError("spectrum too short for peak search")
+    floor = float(np.median(amp)) * floor_factor
+    candidates = []
+    for i in range(1, amp.size - 1):
+        if amp[i] > floor and amp[i] >= amp[i - 1] and amp[i] >= amp[i + 1]:
+            candidates.append(i)
+    # Enforce separation, keeping the strongest of each cluster.
+    candidates.sort(key=lambda i: -amp[i])
+    kept: list[int] = []
+    for i in candidates:
+        if all(abs(i - j) >= min_separation_bins for j in kept):
+            kept.append(i)
+    return [(float(spectrum.freqs[i]), float(amp[i])) for i in kept]
+
+
+@dataclass
+class SpectralComparison:
+    """Outcome of golden-vs-suspect spectrum comparison (Section IV-D)."""
+
+    #: Frequencies where the suspect amplitude rose by >= the ratio
+    #: threshold over golden: ``(freq, golden_amp, suspect_amp)``.
+    boosted_spots: list[tuple[float, float, float]]
+    #: Suspect peaks at frequencies with no golden counterpart.
+    new_spots: list[tuple[float, float]]
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.boosted_spots or self.new_spots)
+
+
+def compare_spectra(
+    golden: Spectrum,
+    suspect: Spectrum,
+    boost_ratio: float = 1.6,
+    floor_factor: float = 8.0,
+) -> SpectralComparison:
+    """Detect boosted or newly appeared spectral spots.
+
+    ``boost_ratio`` is the amplitude-increase factor that flags an
+    existing spot (the T = g case); new suspect peaks more than 3 bins
+    from every golden peak are reported as new spots (T != g).
+    """
+    if golden.freqs.shape != suspect.freqs.shape or not np.allclose(
+        golden.freqs, suspect.freqs
+    ):
+        raise AnalysisError("spectra must share the same frequency grid")
+    golden_peaks = find_peaks_above(golden, floor_factor)
+    suspect_peaks = find_peaks_above(suspect, floor_factor)
+    df = float(golden.freqs[1] - golden.freqs[0])
+
+    boosted: list[tuple[float, float, float]] = []
+    for freq, g_amp in golden_peaks:
+        s_amp = suspect.magnitude_at(freq)
+        if s_amp >= boost_ratio * g_amp:
+            boosted.append((freq, g_amp, s_amp))
+
+    new: list[tuple[float, float]] = []
+    for freq, s_amp in suspect_peaks:
+        near_golden = any(abs(freq - gf) <= 3 * df for gf, _a in golden_peaks)
+        if not near_golden:
+            g_amp = golden.magnitude_at(freq)
+            if s_amp >= boost_ratio * max(g_amp, 1e-30):
+                new.append((freq, s_amp))
+    return SpectralComparison(boosted_spots=boosted, new_spots=new)

@@ -1,0 +1,88 @@
+"""Time-frequency analysis: when did the Trojan wake up?
+
+The runtime framework's spectral path (Fig. 1) works on long records;
+a spectrogram localises the activation *in time* as well — the moment
+Trojan 1's carrier or A2's trigger comb appears is visible as a step
+in the corresponding band's energy track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class Spectrogram:
+    """Magnitude STFT of one record."""
+
+    times: np.ndarray  # (frames,) window-centre times [s]
+    freqs: np.ndarray  # (bins,)
+    magnitude: np.ndarray  # (bins, frames)
+
+    def band_track(self, f_lo: float, f_hi: float) -> np.ndarray:
+        """Per-frame energy inside a frequency band."""
+        mask = (self.freqs >= f_lo) & (self.freqs <= f_hi)
+        if not mask.any():
+            raise AnalysisError(f"no bins inside [{f_lo}, {f_hi}] Hz")
+        return (self.magnitude[mask] ** 2).sum(axis=0)
+
+
+def spectrogram(
+    record: np.ndarray,
+    fs: float,
+    window_samples: int = 4096,
+    hop_samples: int | None = None,
+) -> Spectrogram:
+    """Hann-windowed magnitude STFT of a 1-D record."""
+    x = np.asarray(record, dtype=np.float64).ravel()
+    if window_samples < 16:
+        raise AnalysisError(f"window too short: {window_samples}")
+    if x.size < window_samples:
+        raise AnalysisError(
+            f"record of {x.size} samples shorter than one window"
+        )
+    hop = hop_samples if hop_samples is not None else window_samples // 2
+    if hop <= 0:
+        raise AnalysisError(f"hop must be positive, got {hop}")
+    win = np.hanning(window_samples)
+    n_frames = (x.size - window_samples) // hop + 1
+    frames = np.stack(
+        [
+            x[k * hop : k * hop + window_samples] * win
+            for k in range(n_frames)
+        ]
+    )
+    mag = np.abs(np.fft.rfft(frames, axis=1)).T * (2.0 / win.sum())
+    times = (np.arange(n_frames) * hop + window_samples / 2) / fs
+    freqs = np.fft.rfftfreq(window_samples, d=1.0 / fs)
+    return Spectrogram(times=times, freqs=freqs, magnitude=mag)
+
+
+def detect_activation_time(
+    record: np.ndarray,
+    fs: float,
+    band: tuple[float, float],
+    window_samples: int = 4096,
+    threshold_factor: float = 3.0,
+) -> float | None:
+    """Time at which a band's energy steps above its quiet baseline.
+
+    The baseline is the median of the band-energy track; the activation
+    is the first frame exceeding ``threshold_factor`` × baseline and
+    staying there for at least two frames.  Returns None when the band
+    never activates.
+    """
+    spec = spectrogram(record, fs, window_samples=window_samples)
+    track = spec.band_track(*band)
+    baseline = float(np.median(track))
+    if baseline <= 0:
+        baseline = float(track.mean()) or 1e-30
+    hot = track > threshold_factor * baseline
+    for i in range(len(hot) - 1):
+        if hot[i] and hot[i + 1]:
+            return float(spec.times[i])
+    return None

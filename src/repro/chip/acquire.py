@@ -1,0 +1,456 @@
+"""Trace acquisition: logic activity → receiver voltage waveforms.
+
+:class:`AcquisitionEngine` runs a workload on the chip's compiled
+netlist cycle by cycle, folds each cycle's toggle matrix into per-cycle
+per-delay-bin amplitude frames (weights = EM coupling × switched
+charge, optionally scattered by process variation), then synthesises
+continuous-time receiver voltages by kernel convolution, adds noise and
+applies the scenario's oscilloscope.
+
+The engine is the simulated twin of the paper's measurement bench: one
+call gives you what the scope stored for one campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chip.chip import Chip, Receiver
+from repro.chip.scenario import Scenario
+from repro.crypto.encoding import random_blocks
+from repro.em.noise import thermal_noise_rms, white_noise
+from repro.errors import ExperimentError, MeasurementError
+from repro.logic.activity import ActivityAccumulator
+from repro.power.pulse import (
+    current_kernel,
+    emf_kernel,
+    step_kernel,
+    synthesize_events,
+)
+from repro.rng import derive
+from repro.trojans.base import TapMode
+from repro.units import MHZ
+
+
+#: Effective noise bandwidth of the acquisition front end [Hz] used for
+#: the coil thermal-noise contribution (the bench chain band-limits
+#: noise well below the raw sample rate).
+NOISE_BANDWIDTH = 1.8 * MHZ
+
+#: Relative VDD-rail current drawn by a *falling* output transition
+#: (discharge mostly flows to VSS locally; rises pull the full packet
+#: through the grid).  This rise/fall asymmetry is what puts odd
+#: harmonics — e.g. Trojan 1's 750 kHz AM fundamental — into the field.
+FALL_CURRENT_FRACTION = 0.35
+
+
+class IdleWorkload:
+    """Chip powered, clock running, no encryption (the paper's noise
+    record: "the chip is powered up without executing the encryption")."""
+
+    def begin(self, batch: int, rng: np.random.Generator) -> None:
+        """No per-campaign state to set up."""
+
+    def inputs(self, cycle: int, batch: int):
+        """No stimulus on any cycle."""
+        return None
+
+
+class EncryptionWorkload:
+    """Back-to-back AES encryptions of random plaintexts, fixed key.
+
+    One encryption starts every *period* cycles (the AES takes 11, so
+    the default 16 leaves a realistic idle gap).  Per batch column the
+    plaintexts are independent; the key is shared, as on the bench.
+    """
+
+    def __init__(self, aes, key: bytes, period: int = 16) -> None:
+        if period < aes.latency + 1:
+            raise ExperimentError(
+                f"period {period} shorter than AES latency {aes.latency} + 1"
+            )
+        if len(key) != 16:
+            raise ExperimentError(f"key must be 16 bytes, got {len(key)}")
+        self.aes = aes
+        self.key = bytes(key)
+        self.period = period
+        self.plaintexts: list[np.ndarray] = []
+        self._rng: np.random.Generator | None = None
+        self._keys: np.ndarray | None = None
+
+    def begin(self, batch: int, rng: np.random.Generator) -> None:
+        """Reset per-campaign state (plaintext log, RNG, key tile)."""
+        self.plaintexts = []
+        self._rng = rng
+        self._keys = np.tile(
+            np.frombuffer(self.key, dtype=np.uint8), (batch, 1)
+        )
+
+    def inputs(self, cycle: int, batch: int):
+        """Stimulus for *cycle*: start pulse + fresh plaintexts, or None."""
+        if self._rng is None or self._keys is None:
+            raise ExperimentError("workload used before begin() was called")
+        phase = cycle % self.period
+        if phase == 0:
+            pts = random_blocks(self._rng, batch)
+            self.plaintexts.append(pts)
+            return self.aes.start_inputs(pts, self._keys)
+        if phase == 1:
+            return self.aes.idle_inputs(batch)
+        return None
+
+
+@dataclass
+class AcquisitionResult:
+    """Traces plus the side information tests and demodulators need."""
+
+    traces: dict[str, np.ndarray]  # receiver -> (batch, n_samples)
+    fs: float
+    n_cycles: int
+    samples_per_cycle: int
+    #: Recorded per-cycle net values: name -> (n_cycles + 1, batch);
+    #: row 0 is the post-reset value.
+    recorded: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_samples(self) -> int:
+        return next(iter(self.traces.values())).shape[1]
+
+    @property
+    def time(self) -> np.ndarray:
+        """Sample time axis [s]."""
+        return np.arange(self.n_samples) / self.fs
+
+
+class AcquisitionEngine:
+    """Measurement bench for one chip under one scenario."""
+
+    def __init__(self, chip: Chip, scenario: Scenario) -> None:
+        self.chip = chip
+        self.scenario = scenario
+        scale = scenario.cell_charge_scale(
+            chip.sim.num_instances, chip.seed
+        )
+        if scale is None:
+            scale = np.ones(chip.sim.num_instances)
+        self._charge_scale = scale
+        # Per-receiver event weights.
+        self._w_data: dict[str, np.ndarray] = {}
+        self._w_clock_seq: dict[str, np.ndarray] = {}
+        for name, rcv in chip.receivers.items():
+            w = rcv.cell_coupling * chip.q_switch * scale
+            self._w_data[name] = w
+            w_clk = rcv.cell_coupling * chip.q_clock * scale
+            self._w_clock_seq[name] = w_clk[chip.sim.seq_instance_idx]
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self,
+        workload,
+        n_cycles: int,
+        batch: int = 1,
+        trojan_enables: tuple[str, ...] = (),
+        record_nets: dict[str, str] | None = None,
+        receivers: tuple[str, ...] | None = None,
+        include_noise: bool = True,
+        rng_role: str = "acquire",
+        workload_role: str | None = None,
+    ) -> AcquisitionResult:
+        """Run *workload* for *n_cycles* and return receiver traces.
+
+        Parameters
+        ----------
+        workload:
+            Object with ``begin(batch, rng)`` and ``inputs(cycle, batch)``.
+        n_cycles:
+            Clock cycles to simulate.
+        batch:
+            Independent traces acquired in parallel.
+        trojan_enables:
+            Trojan names whose external enable pin is asserted
+            throughout the campaign.
+        record_nets:
+            Extra nets to log per cycle, as ``{label: net_name}``.
+        receivers:
+            Receiver subset (default: all of the chip's receivers).
+        include_noise:
+            Add environment/thermal noise (switch off to study the pure
+            signal path, e.g. for coupling ablations).
+        rng_role:
+            Label decorrelating this campaign's random streams from
+            other campaigns on the same chip/scenario.
+        workload_role:
+            Label seeding the workload's stimulus stream.  Defaults to
+            *rng_role*; pass the same value across two campaigns to
+            replay the identical plaintext sequence (the paper's
+            golden-vs-Trojan spectra compare "the same operation").
+        """
+        chip = self.chip
+        cfg = chip.config
+        sim = chip.sim
+        if n_cycles <= 0:
+            raise MeasurementError(f"n_cycles must be positive, got {n_cycles}")
+        names = receivers if receivers is not None else tuple(chip.receivers)
+        for name in names:
+            if name not in chip.receivers:
+                raise MeasurementError(f"unknown receiver {name!r}")
+
+        rng = derive(chip.seed ^ self.scenario.seed, f"{rng_role}/{self.scenario.name}")
+        wl_role = workload_role if workload_role is not None else rng_role
+        workload.begin(batch, derive(chip.seed, f"{wl_role}/workload"))
+
+        enable_inputs = {}
+        for tr_name in trojan_enables:
+            if tr_name not in chip.trojans:
+                raise MeasurementError(
+                    f"chip has no trojan {tr_name!r}; present: "
+                    f"{sorted(chip.trojans)}"
+                )
+            enable_inputs[chip.trojans[tr_name].enable_pin] = np.ones(
+                batch, dtype=bool
+            )
+        # Deassert enables of all other embedded Trojans explicitly.
+        for tr_name, tr in chip.trojans.items():
+            if tr_name not in trojan_enables:
+                enable_inputs[tr.enable_pin] = np.zeros(batch, dtype=bool)
+
+        first_inputs = dict(enable_inputs)
+        wl0 = workload.inputs(0, batch)
+        if wl0:
+            first_inputs.update(wl0)
+        state = sim.reset(batch=batch, inputs=first_inputs)
+
+        levels = sim.instance_levels
+        accumulators = {
+            name: ActivityAccumulator(self._w_data[name], levels)
+            for name in names
+        }
+        clock_frames: list[np.ndarray] = []  # (n_seq, batch) enable masks
+        watch: dict[str, str] = dict(record_nets or {})
+        for i, tap in enumerate(chip.taps):
+            watch[f"__tap{i}_net"] = tap.net
+            if tap.gate_by is not None:
+                watch[f"__tap{i}_gate"] = tap.gate_by
+        recorded: dict[str, list[np.ndarray]] = {
+            label: [sim.read(state, net)] for label, net in watch.items()
+        }
+
+        for k in range(1, n_cycles + 1):
+            clock_frames.append(sim.clock_enable_values(state))
+            toggles = sim.step(state, workload.inputs(k, batch))
+            rising = toggles & sim.output_values(state)
+            weighted = toggles * FALL_CURRENT_FRACTION + rising * (
+                1.0 - FALL_CURRENT_FRACTION
+            )
+            for acc in accumulators.values():
+                acc.record(weighted)
+            for label, net in watch.items():
+                recorded[label].append(sim.read(state, net))
+
+        n_samples = (n_cycles + 1) * cfg.samples_per_cycle
+        clock_en = np.stack(clock_frames, axis=0)  # (cycles, n_seq, batch)
+        rec_arrays = {
+            label: np.stack(vals, axis=0) for label, vals in recorded.items()
+        }
+
+        traces: dict[str, np.ndarray] = {}
+        for name in names:
+            traces[name] = self._synthesize_receiver(
+                name,
+                accumulators[name].result(),
+                clock_en,
+                rec_arrays,
+                n_cycles,
+                n_samples,
+                batch,
+                include_noise,
+                rng,
+            )
+        public_recorded = {
+            label: arr
+            for label, arr in rec_arrays.items()
+            if not label.startswith("__tap")
+        }
+        return AcquisitionResult(
+            traces=traces,
+            fs=cfg.fs,
+            n_cycles=n_cycles,
+            samples_per_cycle=cfg.samples_per_cycle,
+            recorded=public_recorded,
+        )
+
+    # ------------------------------------------------------------------
+    def _synthesize_receiver(
+        self,
+        name: str,
+        data_amps: np.ndarray,  # (cycles, bins, batch)
+        clock_en: np.ndarray,  # (cycles, n_seq, batch)
+        recorded: dict[str, np.ndarray],
+        n_cycles: int,
+        n_samples: int,
+        batch: int,
+        include_noise: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        chip = self.chip
+        cfg = chip.config
+        rcv = chip.receivers[name]
+        t_clk = cfg.t_clk
+
+        n_bins = data_amps.shape[1]
+        edge_times = (np.arange(n_cycles) + 1) * t_clk
+
+        # Data events: cycle edge + per-level stagger.
+        data_times = (
+            edge_times[:, None] + (np.arange(n_bins) * cfg.gate_delay)[None, :]
+        ).reshape(-1)
+        data_flat = data_amps.reshape(n_cycles * n_bins, batch)
+
+        # Clock events at the edges proper.
+        w_clk = self._w_clock_seq[name]
+        clock_amps = np.einsum("s,csb->cb", w_clk, clock_en)
+
+        times = np.concatenate([data_times, edge_times])
+        amps = np.concatenate([data_flat, clock_amps], axis=0)
+        if rcv.sense == "current":
+            # A shunt monitor sees the current pulses themselves.
+            kern = current_kernel(cfg.fs, cfg.pulse_width)
+        else:
+            kern = emf_kernel(cfg.fs, cfg.pulse_width)
+        wave = synthesize_events(times, amps, kern, n_samples, cfg.fs)
+
+        # Analog taps.
+        for i, tap in enumerate(chip.taps):
+            coupling = rcv.tap_coupling[i]
+            vals = recorded[f"__tap{i}_net"].astype(np.float64)
+            if tap.gate_by is not None:
+                vals = vals * recorded[f"__tap{i}_gate"]
+            if tap.mode in (TapMode.PULSE_ON_TOGGLE, TapMode.PULSE_ON_RISE):
+                deltas = np.diff(recorded[f"__tap{i}_net"].astype(np.int8), axis=0)
+                if tap.mode is TapMode.PULSE_ON_RISE:
+                    events = (deltas > 0).astype(np.float64)
+                else:
+                    events = np.abs(deltas).astype(np.float64)
+                if tap.gate_by is not None:
+                    events = events * recorded[f"__tap{i}_gate"][1:]
+                amps_tap = coupling * tap.amplitude * events
+                wave += synthesize_events(
+                    edge_times, amps_tap, kern, n_samples, cfg.fs
+                )
+            else:
+                level = vals if tap.mode is TapMode.CURRENT_WHEN_HIGH else (
+                    (1.0 - recorded[f"__tap{i}_net"].astype(np.float64))
+                )
+                if tap.mode is TapMode.CURRENT_WHEN_LOW and tap.gate_by is not None:
+                    level = level * recorded[f"__tap{i}_gate"]
+                if rcv.sense == "current":
+                    # The shunt sees the static level itself: a box
+                    # waveform, amp x level, held for each cycle.
+                    spc = cfg.samples_per_cycle
+                    box = np.repeat(level.T, spc, axis=1)
+                    box = box[:, : n_samples - spc]
+                    pad = np.zeros((box.shape[0], n_samples - box.shape[1]))
+                    wave += coupling * tap.amplitude * np.concatenate(
+                        [box, pad], axis=1
+                    )
+                else:
+                    delta = np.diff(level, axis=0)  # transitions at edges
+                    amps_tap = coupling * tap.amplitude * delta
+                    s_kern = step_kernel(cfg.fs, tap.rise_time)
+                    wave += synthesize_events(
+                        edge_times, amps_tap, s_kern, n_samples, cfg.fs
+                    )
+
+        if rcv.external:
+            wave = wave * self.scenario.probe_attenuation
+            # Positional drift distorts the *signal* path (it scales
+            # with the signal), so it applies regardless of the
+            # additive-noise switch — the SNR calibration must see it
+            # in the signal record exactly as a real bench would.
+            drift = self.scenario.probe_drift_fraction
+            if drift > 0:
+                wave = wave + self._probe_drift(wave, drift, rng)
+
+        if include_noise:
+            override = self.scenario.noise_override_for(name)
+            if override is not None:
+                total_rms = float(override)
+            else:
+                env_rms = self.scenario.env_noise.emf_rms(rcv.effective_area)
+                if rcv.external:
+                    env_rms *= self.scenario.probe_env_factor
+                th_rms = thermal_noise_rms(rcv.resistance, NOISE_BANDWIDTH)
+                total_rms = float(np.hypot(env_rms, th_rms))
+            wave = wave + self._noise_for(rcv, wave.shape, total_rms, rng)
+
+        scope = self.scenario.oscilloscope
+        if scope is not None:
+            wave = scope.digitize(wave, cfg.fs, rng)
+        return wave
+
+    def _probe_drift(
+        self,
+        wave: np.ndarray,
+        fraction: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-trace smooth shape distortion of the external probe.
+
+        Each batch row gets an independent band-limited (< ~2 MHz)
+        random component whose RMS is *fraction* of that row's signal
+        RMS — the trace-to-trace signature of probe repositioning.
+        Proportional to the signal, it contributes almost nothing to
+        the idle noise record, so the record-level SNR calibration is
+        unaffected.
+        """
+        from scipy import signal as _signal
+
+        nyq = 0.5 * self.chip.config.fs
+        b, a = _signal.butter(2, min(2e6 / nyq, 0.99))
+        raw = rng.normal(size=wave.shape)
+        smooth = _signal.lfilter(b, a, raw, axis=-1)
+        row_rms = np.sqrt(np.mean(smooth**2, axis=-1, keepdims=True))
+        row_rms[row_rms == 0] = 1.0
+        target = fraction * np.sqrt(
+            np.mean(wave**2, axis=-1, keepdims=True)
+        )
+        return smooth * (target / row_rms)
+
+    def _noise_for(
+        self,
+        rcv: Receiver,
+        shape: tuple[int, ...],
+        total_rms: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Receiver noise record with the right spectral colour.
+
+        The sensor's floor is white (coil thermal noise).  The external
+        probe's floor is dominated by bench EMI concentrated below
+        :data:`~repro.chip.scenario.PROBE_INBAND_CUTOFF`; the coloured
+        part is synthesised by low-passing white noise and rescaling,
+        so the record-level RMS still equals *total_rms* exactly as the
+        SNR calibration assumes.
+        """
+        from scipy import signal as _signal
+
+        from repro.chip.scenario import PROBE_INBAND_CUTOFF
+
+        frac = self.scenario.probe_inband_fraction if rcv.external else 0.0
+        if total_rms == 0.0:
+            return np.zeros(shape)
+        if frac <= 0.0:
+            return white_noise(rng, shape, total_rms)
+        inband_rms = float(np.sqrt(frac)) * total_rms
+        broad_rms = float(np.sqrt(max(0.0, 1.0 - frac))) * total_rms
+        noise = white_noise(rng, shape, broad_rms)
+        raw = rng.normal(size=shape)
+        nyq = 0.5 * self.chip.config.fs
+        b, a = _signal.butter(3, min(PROBE_INBAND_CUTOFF / nyq, 0.99))
+        coloured = _signal.lfilter(b, a, raw, axis=-1)
+        c_rms = float(np.sqrt(np.mean(coloured**2)))
+        if c_rms > 0:
+            noise = noise + coloured * (inband_rms / c_rms)
+        return noise

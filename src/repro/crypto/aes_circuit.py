@@ -1,0 +1,236 @@
+"""Structural gate-level AES-128 circuit generator.
+
+Generates the iterative-round AES core of the paper's test chip as a
+:class:`~repro.logic.netlist.Netlist`:
+
+* 128-bit state and round-key registers (clock-enabled flops),
+* 16 SubBytes S-boxes plus 4 key-schedule S-boxes, each a decoded-PLA
+  ROM (decoder + OR planes) — the dominant share of the ~30 k gates,
+* ShiftRows as pure wiring, MixColumns as an xtime/XOR network,
+* on-the-fly key schedule with an Rcon ROM addressed by the round
+  counter,
+* a tiny controller (busy/done flops, 4-bit round counter).
+
+Timing: assert ``start`` with plaintext and key for one cycle; the
+initial AddRoundKey loads at the next clock edge and each following
+edge completes one round.  ``done`` pulses high on the cycle the
+ciphertext lands in the state register — :data:`AES_LATENCY` edges
+after the ``start`` cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto import aes as aes_ref
+from repro.crypto.encoding import bus_inputs
+from repro.logic.builder import Bus, NetlistBuilder
+from repro.logic.netlist import Netlist
+
+#: Clock edges from the ``start`` cycle until ``done`` / ciphertext valid.
+AES_LATENCY = 11
+
+#: Instance-group label stamped on every AES cell (Table I accounting).
+AES_GROUP = "aes"
+
+
+def _byte(bus: Bus, i: int) -> Bus:
+    """Byte *i* of a byte-ordered bus (8 nets, MSB first)."""
+    return bus[8 * i : 8 * i + 8]
+
+
+def _xtime_bus(b: NetlistBuilder, a: Bus) -> Bus:
+    """GF(2^8) multiplication by 0x02 on an 8-bit bus (MSB first).
+
+    Left shift, then conditionally XOR 0x1B — realised as three XOR
+    gates on the bit positions where 0x1B is set (the shifted-out MSB
+    lands directly on the LSB).
+    """
+    msb = a[0]
+    return [
+        a[1],
+        a[2],
+        a[3],
+        b.xor2(a[4], msb),
+        b.xor2(a[5], msb),
+        a[6],
+        b.xor2(a[7], msb),
+        msb,
+    ]
+
+
+def _xor_bytes(b: NetlistBuilder, *buses: Bus) -> Bus:
+    """Bitwise XOR of several equal-width buses."""
+    acc = list(buses[0])
+    for other in buses[1:]:
+        acc = b.xor_bus(acc, other)
+    return acc
+
+
+def _sbox_bus(b: NetlistBuilder, byte_bus: Bus) -> Bus:
+    """One SubBytes S-box as a decoded-PLA ROM."""
+    return b.rom(byte_bus, aes_ref.SBOX, 8)
+
+
+def _shift_rows_bus(state: Bus) -> Bus:
+    """ShiftRows as a pure byte-wise rewiring of the 128-bit bus."""
+    out: Bus = []
+    for i in range(16):
+        out.extend(_byte(state, aes_ref.SHIFT_ROWS_PERM[i]))
+    return out
+
+
+def _mix_columns_bus(b: NetlistBuilder, state: Bus) -> Bus:
+    """MixColumns over all four columns as an xtime/XOR network."""
+    out: Bus = []
+    for col in range(4):
+        a = [_byte(state, 4 * col + r) for r in range(4)]
+        xt = [_xtime_bus(b, byte) for byte in a]
+        t3 = [b.xor_bus(xt[r], a[r]) for r in range(4)]  # 0x03 * a_r
+        out.extend(_xor_bytes(b, xt[0], t3[1], a[2], a[3]))
+        out.extend(_xor_bytes(b, a[0], xt[1], t3[2], a[3]))
+        out.extend(_xor_bytes(b, a[0], a[1], xt[2], t3[3]))
+        out.extend(_xor_bytes(b, t3[0], a[1], a[2], xt[3]))
+    return out
+
+
+def _key_schedule_bus(b: NetlistBuilder, key: Bus, rcon: Bus) -> Bus:
+    """One round of on-the-fly AES-128 key expansion.
+
+    *key* holds round key ``K_{r-1}``; *rcon* is the 8-bit round
+    constant for round ``r``; returns ``K_r``.
+    """
+    w = [key[32 * i : 32 * i + 32] for i in range(4)]
+    rot = _byte(w[3], 1) + _byte(w[3], 2) + _byte(w[3], 3) + _byte(w[3], 0)
+    sub = []
+    for i in range(4):
+        sub.extend(_sbox_bus(b, rot[8 * i : 8 * i + 8]))
+    temp = b.xor_bus(sub[:8], rcon) + sub[8:]
+    w0 = b.xor_bus(w[0], temp)
+    w1 = b.xor_bus(w[1], w0)
+    w2 = b.xor_bus(w[2], w1)
+    w3 = b.xor_bus(w[3], w2)
+    return w0 + w1 + w2 + w3
+
+
+@dataclass
+class AesCircuit:
+    """The generated AES netlist together with its interface nets."""
+
+    netlist: Netlist
+    pt: Bus
+    key: Bus
+    start: str
+    state_q: Bus
+    key_q: Bus
+    round_ctr: Bus
+    busy: str
+    done: str
+    clkdiv: Bus = field(default_factory=list)
+    latency: int = AES_LATENCY
+    extra_inputs: dict[str, str] = field(default_factory=dict)
+
+    def start_inputs(
+        self, plaintexts: np.ndarray, keys: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Input dict for the ``start`` cycle of a batched encryption.
+
+        *plaintexts* and *keys* are uint8 arrays of shape ``(batch, 16)``.
+        """
+        batch = plaintexts.shape[0]
+        inputs = bus_inputs(self.pt, plaintexts)
+        inputs.update(bus_inputs(self.key, keys))
+        inputs[self.start] = np.ones(batch, dtype=bool)
+        return inputs
+
+    def idle_inputs(self, batch: int) -> dict[str, np.ndarray]:
+        """Input dict that deasserts ``start`` (other inputs unchanged)."""
+        return {self.start: np.zeros(batch, dtype=bool)}
+
+
+def build_aes_circuit(builder: NetlistBuilder | None = None) -> AesCircuit:
+    """Generate the structural AES-128 core.
+
+    When *builder* is given the AES is added to that (shared) netlist —
+    this is how the Trojan generators attach to the same die — otherwise
+    a fresh netlist named ``"aes_core"`` is created.
+    """
+    own_builder = builder is None
+    b = builder if builder is not None else NetlistBuilder("aes_core")
+    with b.in_group(AES_GROUP):
+        pt = b.input_bus("pt", 128)
+        key = b.input_bus("key", 128)
+        start = b.input("start")
+
+        # Registers are declared first as plain nets so combinational
+        # logic can reference them; flop instances are created at the end
+        # once their D nets exist.
+        state_q: Bus = [b.net("state_q") for _ in range(128)]
+        key_q: Bus = [b.net("key_q") for _ in range(128)]
+        ctr_q: Bus = [b.net("ctr_q") for _ in range(4)]
+        busy_q = b.net("busy_q")
+
+        # ---------------- controller ---------------------------------
+        is_last = b.equals_const(ctr_q, 10)
+        run_en = b.or2(start, busy_q)
+        busy_d = b.or2(start, b.and2(busy_q, b.inv(is_last)))
+        done_d = b.and2(busy_q, is_last)
+
+        one4 = b.const_bus(1, 4)
+        ctr_plus1, _carry = b.adder_bus(ctr_q, one4)
+        ctr_d = b.mux_bus(ctr_plus1, one4, start)
+
+        # ---------------- round datapath ------------------------------
+        sb: Bus = []
+        for i in range(16):
+            sb.extend(_sbox_bus(b, _byte(state_q, i)))
+        sr = _shift_rows_bus(sb)
+        mc = _mix_columns_bus(b, sr)
+
+        rcon_words = [0] * 16
+        for rnd in range(1, 11):
+            rcon_words[rnd] = aes_ref.RCON[rnd - 1]
+        rcon = b.rom(ctr_q, rcon_words, 8)
+        key_next = _key_schedule_bus(b, key_q, rcon)
+
+        normal = b.xor_bus(mc, key_next)
+        final = b.xor_bus(sr, key_next)
+        round_out = b.mux_bus(normal, final, is_last)
+
+        load_val = b.xor_bus(pt, key)
+        state_d = b.mux_bus(round_out, load_val, start)
+        key_d = b.mux_bus(key_next, key, start)
+
+        # ---------------- registers ----------------------------------
+        for d, q in zip(state_d, state_q):
+            b.flop_into(d, q, enable=run_en)
+        for d, q in zip(key_d, key_q):
+            b.flop_into(d, q, enable=run_en)
+        for d, q in zip(ctr_d, ctr_q):
+            b.flop_into(d, q, enable=run_en)
+        b.flop_into(busy_d, busy_q)
+        done_q = b.dff(done_d)
+
+        # Free-running clock divider for the chip's I/O and test logic.
+        # Its MSB-side bits are the "on-chip clock division signal" the
+        # paper's A2 Trojan rides as its fast-toggling trigger input.
+        clkdiv = b.counter(3)
+
+        b.mark_output_bus(state_q)
+        b.mark_output(done_q)
+
+    netlist = b.build() if own_builder else b.netlist
+    return AesCircuit(
+        netlist=netlist,
+        pt=pt,
+        key=key,
+        start=start,
+        state_q=state_q,
+        key_q=key_q,
+        round_ctr=ctr_q,
+        busy=busy_q,
+        done=done_q,
+        clkdiv=clkdiv,
+    )

@@ -1,0 +1,104 @@
+"""Partial mutual inductance between wire segments and a coil.
+
+PEEC-style Neumann double integral: for a straight source segment *s*
+and a straight coil segment *c*,
+
+.. math::
+
+    M_{sc} = \\frac{\\mu_0}{4\\pi}
+             \\int_s \\int_c \\frac{d\\vec l_s \\cdot d\\vec l_c}{r}
+
+evaluated with Gauss–Legendre quadrature.  Summing over the coil's
+segments gives each power-grid segment's coupling to the whole coil;
+the induced emf is then ``-M_s * dI_s/dt`` summed over segments.
+
+Perpendicular segments contribute nothing (the dot product vanishes),
+which the implementation exploits by skipping near-orthogonal pairs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import EmModelError
+from repro.units import MU_0, UM
+
+
+def _gauss01(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss–Legendre nodes/weights transformed to [0, 1]."""
+    if n < 1:
+        raise EmModelError(f"quadrature order must be >= 1, got {n}")
+    x, w = np.polynomial.legendre.leggauss(n)
+    return 0.5 * (x + 1.0), 0.5 * w
+
+
+def mutual_inductance_to_loop(
+    seg_start: np.ndarray,
+    seg_end: np.ndarray,
+    loop_points: np.ndarray,
+    n_quad: int = 4,
+    min_distance: float = 0.5 * UM,
+) -> np.ndarray:
+    """Mutual inductance of each source segment to a coil polyline.
+
+    Parameters
+    ----------
+    seg_start, seg_end:
+        Source segments, shape ``(N, 3)`` each [m].
+    loop_points:
+        Coil polyline vertices, shape ``(M, 3)``; consecutive vertices
+        form the coil segments (the polyline need not be closed — an
+        on-chip spiral is open and its pads close the circuit).
+    n_quad:
+        Gauss–Legendre order per dimension.
+    min_distance:
+        Distance floor [m] guarding the 1/r kernel where a coil trace
+        crosses directly over a grid wire.
+
+    Returns
+    -------
+    numpy.ndarray
+        Mutual inductance per source segment, shape ``(N,)`` [H].
+    """
+    s0 = np.asarray(seg_start, dtype=np.float64)
+    s1 = np.asarray(seg_end, dtype=np.float64)
+    loop = np.asarray(loop_points, dtype=np.float64)
+    if s0.shape != s1.shape or s0.ndim != 2 or s0.shape[1] != 3:
+        raise EmModelError(
+            f"segment arrays must both be (N, 3); got {s0.shape} and {s1.shape}"
+        )
+    if loop.ndim != 2 or loop.shape[1] != 3 or loop.shape[0] < 2:
+        raise EmModelError(f"loop polyline must be (M>=2, 3), got {loop.shape}")
+    if min_distance <= 0:
+        raise EmModelError(f"min_distance must be positive, got {min_distance}")
+
+    u, w = _gauss01(n_quad)
+    n_src = s0.shape[0]
+    result = np.zeros(n_src)
+    if n_src == 0:
+        return result
+
+    d_src = s1 - s0  # (N, 3), includes length
+    # Quadrature points along every source segment: (N, A, 3).
+    p_src = s0[:, None, :] + u[None, :, None] * d_src[:, None, :]
+
+    c0_all, c1_all = loop[:-1], loop[1:]
+    for c0, c1 in zip(c0_all, c1_all):
+        d_coil = c1 - c0
+        coil_len = float(np.linalg.norm(d_coil))
+        if coil_len == 0.0:
+            continue
+        # (t_s . t_c) including both lengths: dot of the full vectors.
+        dots = d_src @ d_coil  # (N,)
+        active = np.abs(dots) > 0.0
+        if not active.any():
+            continue
+        p_coil = c0[None, :] + u[:, None] * d_coil[None, :]  # (B, 3)
+        diff = p_src[active][:, :, None, :] - p_coil[None, None, :, :]
+        dist = np.linalg.norm(diff, axis=-1)  # (n_active, A, B)
+        np.maximum(dist, min_distance, out=dist)
+        kernel = (w[None, :, None] * w[None, None, :] / dist).sum(axis=(1, 2))
+        result[active] += dots[active] * kernel
+    return MU_0 / (4.0 * math.pi) * result

@@ -1,0 +1,77 @@
+"""Noise models.
+
+Two contributions matter for the paper's SNR comparison:
+
+* **Environment noise** — ambient magnetic-field fluctuations ("random
+  white noise is added in the simulation to mimic the real-world
+  environment noises").  A coil picks this up in proportion to its
+  effective area, which is precisely why the physically small on-chip
+  spiral outperforms the large external probe head: it sees nearly the
+  same signal flux (it is closer) but an order of magnitude less
+  ambient flux.
+* **Thermal (Johnson) noise** of the coil's own trace resistance —
+  small, but included for physical completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.errors import EmModelError
+from repro.units import K_BOLTZMANN, ROOM_TEMPERATURE
+
+
+@dataclass(frozen=True)
+class EnvironmentNoise:
+    """White ambient dB/dt noise.
+
+    ``b_dot_rms`` is the RMS rate of change of the ambient flux density
+    [T/s] within the acquisition bandwidth.  The induced noise emf in a
+    coil of effective area ``A`` (m²·turns) is ``A * b_dot_rms``.
+    """
+
+    b_dot_rms: float
+
+    def __post_init__(self) -> None:
+        if self.b_dot_rms < 0:
+            raise EmModelError(f"b_dot_rms must be >= 0, got {self.b_dot_rms}")
+
+    def emf_rms(self, effective_area: float) -> float:
+        """RMS noise voltage induced in a coil of *effective_area*."""
+        if effective_area < 0:
+            raise EmModelError(
+                f"effective area must be >= 0, got {effective_area}"
+            )
+        return effective_area * self.b_dot_rms
+
+    def scaled(self, factor: float) -> "EnvironmentNoise":
+        """A copy with *factor* times the noise level."""
+        return EnvironmentNoise(self.b_dot_rms * factor)
+
+
+def thermal_noise_rms(
+    resistance: float,
+    bandwidth: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """Johnson–Nyquist voltage noise RMS: sqrt(4 k T R B)."""
+    if resistance < 0 or bandwidth < 0 or temperature < 0:
+        raise EmModelError(
+            "resistance, bandwidth and temperature must be non-negative"
+        )
+    return math.sqrt(4.0 * K_BOLTZMANN * temperature * resistance * bandwidth)
+
+
+def white_noise(
+    rng: np.random.Generator, shape: tuple[int, ...], rms: float
+) -> np.ndarray:
+    """Zero-mean Gaussian white noise with the given RMS."""
+    if rms < 0:
+        raise EmModelError(f"noise RMS must be >= 0, got {rms}")
+    if rms == 0.0:
+        return np.zeros(shape)
+    return rng.normal(0.0, rms, size=shape)

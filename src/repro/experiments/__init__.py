@@ -1,0 +1,73 @@
+"""Experiment drivers — one per paper table/figure.
+
+Each driver owns the full recipe of one reported result (workload,
+acquisition, analysis, expected shape) and returns a plain-dataclass
+result that both the benchmark harness and the tests consume.  The
+mapping to the paper:
+
+=====================  ==============================================
+:mod:`~repro.experiments.table1`     Table I (Trojan sizes)
+:mod:`~repro.experiments.snr`        Sections IV-B and V-A (SNR)
+:mod:`~repro.experiments.euclidean`  Section IV-C (simulated EDs)
+:mod:`~repro.experiments.fig4`       Figure 4 (A2 spectrum)
+:mod:`~repro.experiments.fig6`       Figure 6 (histograms + spectra)
+:mod:`~repro.experiments.ablation`   Design-space sweeps (Section VI)
+=====================  ==============================================
+"""
+
+from repro.experiments.campaign import (
+    DEFAULT_KEY,
+    calibrated,
+    collect_ed_traces,
+    collect_spectral_record,
+    shared_chip,
+)
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.snr import SnrExperimentResult, run_snr_experiment
+from repro.experiments.euclidean import (
+    EuclideanExperimentResult,
+    run_euclidean_experiment,
+)
+from repro.experiments.fig4 import A2SpectrumResult, run_a2_spectrum
+from repro.experiments.fig6 import (
+    Fig6HistogramResult,
+    Fig6SpectraResult,
+    run_fig6_histograms,
+    run_fig6_spectra,
+)
+from repro.experiments.baseline_power import (
+    run_crosschip_study,
+    run_power_baseline,
+)
+from repro.experiments.latency import run_detection_latency
+from repro.experiments.localization import run_localization
+from repro.experiments.leakage import (
+    run_fixed_vs_random_tvla,
+    run_trojan_tvla,
+)
+
+__all__ = [
+    "DEFAULT_KEY",
+    "calibrated",
+    "collect_ed_traces",
+    "collect_spectral_record",
+    "shared_chip",
+    "Table1Result",
+    "run_table1",
+    "SnrExperimentResult",
+    "run_snr_experiment",
+    "EuclideanExperimentResult",
+    "run_euclidean_experiment",
+    "A2SpectrumResult",
+    "run_a2_spectrum",
+    "Fig6HistogramResult",
+    "Fig6SpectraResult",
+    "run_fig6_histograms",
+    "run_fig6_spectra",
+    "run_crosschip_study",
+    "run_power_baseline",
+    "run_detection_latency",
+    "run_localization",
+    "run_fixed_vs_random_tvla",
+    "run_trojan_tvla",
+]

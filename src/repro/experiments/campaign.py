@@ -1,0 +1,217 @@
+"""Shared campaign plumbing for the experiment drivers.
+
+Chips take seconds to assemble, so :func:`shared_chip` memoises one
+instance per (seed, trojan-set); trace collectors wrap the acquisition
+engine with the two standard campaign styles:
+
+* :func:`collect_ed_traces` — back-to-back encryptions cut into
+  per-encryption windows (the fingerprinting view).  Cutting windows
+  out of one long run, rather than resetting per trace, is what gives
+  every Trojan counter a *random phase* relative to the encryption —
+  on a real bench the 750 kHz carrier is never reset-synchronised to
+  the AES start pulse, and T1's characteristic flat/bimodal histogram
+  (Fig. 6e) only appears because of that.
+* :func:`collect_spectral_record` — one long continuous record for FFT
+  analysis.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from scipy import signal
+
+from repro.chip.acquire import (
+    AcquisitionEngine,
+    EncryptionWorkload,
+    IdleWorkload,
+)
+from repro.chip.chip import ALL_TROJANS, Chip
+from repro.chip.config import ChipConfig
+from repro.chip.scenario import Scenario
+
+#: The fixed secret key all campaigns encrypt under.
+DEFAULT_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+#: Encryption repetition period in cycles (AES latency 11 + 1 idle).
+ED_PERIOD = 12
+
+#: Encryption period for *spectral* campaigns.  Deliberately coprime-ish
+#: with the clock dividers so the encryption comb (f_clk / period and
+#: harmonics) does not sit on the divider lines the A2 analysis watches
+#: — on a real bench, irregular encryption spacing decorrelates these
+#: the same way.
+SPECTRAL_PERIOD = 13
+
+#: Extra trailing cycles discarded at the start of each record while
+#: registers come out of reset.
+WARMUP_WINDOWS = 2
+
+#: Decimation factor of the fingerprinting front end.  The bench chain
+#: (probe/sensor amplifier + scope) is band-limited well below the raw
+#: synthesis rate; decimating to ~200 MS/s keeps every per-cycle power
+#: feature while averaging out sample-level plaintext jitter, exactly
+#: like the paper's acquisition.
+ED_DECIMATE = 12
+
+
+@lru_cache(maxsize=4)
+def shared_chip(seed: int = 0, trojans: tuple[str, ...] = ALL_TROJANS) -> Chip:
+    """Build (once) and return the shared test chip."""
+    return Chip.build(config=ChipConfig(), trojans=trojans, seed=seed)
+
+
+_CALIBRATION_CACHE: dict[tuple[int, str], Scenario] = {}
+
+
+def calibrated(chip: Chip, scenario: Scenario) -> Scenario:
+    """SNR-anchored variant of *scenario* for *chip* (memoised).
+
+    See :mod:`repro.chip.calibration`: the four unknown bench noise
+    magnitudes are solved from the paper's four reported SNR figures.
+    """
+    from repro.chip.calibration import calibrate_scenario
+
+    key = (id(chip), scenario.name)
+    cached = _CALIBRATION_CACHE.get(key)
+    if cached is None:
+        cached = calibrate_scenario(chip, scenario)
+        _CALIBRATION_CACHE[key] = cached
+    return cached
+
+
+def collect_ed_traces(
+    chip: Chip,
+    scenario: Scenario,
+    n_traces: int,
+    trojan_enables: tuple[str, ...] = (),
+    receivers: tuple[str, ...] = ("sensor", "probe"),
+    rng_role: str = "ed",
+    batch: int = 64,
+    key: bytes = DEFAULT_KEY,
+    decimate: int = ED_DECIMATE,
+) -> dict[str, np.ndarray]:
+    """Per-encryption EM traces, ``{receiver: (n_traces, window_samples)}``.
+
+    Runs ``ceil(n_traces / batch)`` windows worth of back-to-back
+    encryptions per batch column, segments each receiver record into
+    one window per encryption, and band-limits/decimates to the
+    analysis rate (set ``decimate=1`` for raw traces).
+    """
+    spc = chip.config.samples_per_cycle
+    window = ED_PERIOD * spc
+    windows_per_col = -(-n_traces // batch) + WARMUP_WINDOWS
+    n_cycles = windows_per_col * ED_PERIOD
+    engine = AcquisitionEngine(chip, scenario)
+    workload = EncryptionWorkload(chip.aes, key, period=ED_PERIOD)
+    result = engine.acquire(
+        workload,
+        n_cycles=n_cycles,
+        batch=batch,
+        trojan_enables=trojan_enables,
+        receivers=receivers,
+        rng_role=rng_role,
+    )
+    out: dict[str, np.ndarray] = {}
+    for name in receivers:
+        rec = result.traces[name]
+        usable = windows_per_col - WARMUP_WINDOWS
+        if decimate > 1:
+            rec = signal.decimate(rec, decimate, axis=1, zero_phase=True)
+            w = window // decimate
+        else:
+            w = window
+        segs = rec[:, WARMUP_WINDOWS * w : (WARMUP_WINDOWS + usable) * w]
+        segs = segs.reshape(batch, usable, w)
+        # Interleave batch columns so truncation keeps phase diversity.
+        segs = segs.transpose(1, 0, 2).reshape(batch * usable, w)
+        out[name] = segs[:n_traces]
+    return out
+
+
+def collect_attack_traces(
+    chip: Chip,
+    scenario: Scenario,
+    n_traces: int,
+    receiver: str = "sensor",
+    rng_role: str = "cpa",
+    batch: int = 64,
+    key: bytes = DEFAULT_KEY,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw per-encryption traces *with their plaintexts* (for CPA).
+
+    Returns ``(traces, plaintexts)`` where traces has shape
+    ``(n_traces, window_samples)`` at the full sample rate and
+    plaintexts ``(n_traces, 16)`` — row ``i`` of each corresponds to the
+    same encryption.
+    """
+    spc = chip.config.samples_per_cycle
+    window = ED_PERIOD * spc
+    windows_per_col = -(-n_traces // batch) + WARMUP_WINDOWS
+    n_cycles = windows_per_col * ED_PERIOD
+    engine = AcquisitionEngine(chip, scenario)
+    workload = EncryptionWorkload(chip.aes, key, period=ED_PERIOD)
+    result = engine.acquire(
+        workload,
+        n_cycles=n_cycles,
+        batch=batch,
+        receivers=(receiver,),
+        rng_role=rng_role,
+    )
+    usable = windows_per_col - WARMUP_WINDOWS
+    rec = result.traces[receiver]
+    segs = rec[:, WARMUP_WINDOWS * window : (WARMUP_WINDOWS + usable) * window]
+    segs = segs.reshape(batch, usable, window).transpose(1, 0, 2)
+    traces = segs.reshape(batch * usable, window)[:n_traces]
+    # workload.plaintexts[w] holds the (batch, 16) block of window w.
+    pts = np.concatenate(
+        [workload.plaintexts[WARMUP_WINDOWS + w] for w in range(usable)],
+        axis=0,
+    )[:n_traces]
+    return traces, pts
+
+
+def collect_spectral_record(
+    chip: Chip,
+    scenario: Scenario,
+    n_cycles: int = 4096,
+    trojan_enables: tuple[str, ...] = (),
+    receivers: tuple[str, ...] = ("sensor",),
+    rng_role: str = "spectrum",
+    encrypting: bool = True,
+    key: bytes = DEFAULT_KEY,
+    batch: int = 4,
+    include_noise: bool = False,
+) -> dict[str, np.ndarray]:
+    """Long continuous records per receiver, ``(batch, samples)``.
+
+    Rows are independent records; averaging their magnitude spectra
+    (which :func:`repro.analysis.spectral.amplitude_spectrum` does)
+    knocks the noise floor down like a spectrum analyser's averaging.
+
+    ``include_noise`` defaults to False: the paper's spectral figures
+    are simulation plots / heavily averaged captures whose additive
+    noise floor sits below the spots of interest; reproducing that
+    averaging directly would need million-cycle records, so the
+    drivers analyse the noise-free signal path instead (the noisy
+    variant remains available for ablations).
+    """
+    engine = AcquisitionEngine(chip, scenario)
+    workload = (
+        EncryptionWorkload(chip.aes, key, period=SPECTRAL_PERIOD)
+        if encrypting
+        else IdleWorkload()
+    )
+    result = engine.acquire(
+        workload,
+        n_cycles=n_cycles,
+        batch=batch,
+        trojan_enables=trojan_enables,
+        receivers=receivers,
+        rng_role=rng_role,
+        workload_role="spectral/shared-operation",
+        include_noise=include_noise,
+    )
+    return {name: result.traces[name] for name in receivers}

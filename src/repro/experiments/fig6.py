@@ -1,0 +1,179 @@
+"""Figure 6 — fabricated-chip Trojan detection, all twelve panels.
+
+* Panels (a)–(d): Euclidean-distance histograms from the **external
+  probe** — golden and Trojan-active distributions overlap and their
+  peaks are not separable.
+* Panels (e)–(h): the same from the **on-chip sensor** — bodies still
+  overlap but the peaks separate (T1's goes flat/bimodal because the
+  carrier phase wanders against the encryption windows).
+* Panels (i)–(l): sensor FFT spectra — T1 adds low-frequency energy,
+  T2 and T4 lift many spots (T4 > T2), T3 stays indistinct.
+
+All panels run under the *silicon* scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.euclidean import EuclideanDetector
+from repro.analysis.histogram import (
+    DistanceHistogram,
+    distance_histogram,
+    histogram_overlap,
+    peak_separation,
+)
+from repro.analysis.spectral import Spectrum, amplitude_spectrum, band_energy
+from repro.chip.chip import Chip
+from repro.chip.scenario import Scenario
+from repro.experiments.campaign import collect_ed_traces, collect_spectral_record
+
+DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
+
+
+@dataclass
+class Fig6Panel:
+    """One histogram panel of Fig. 6(a)–(h)."""
+
+    trojan: str
+    receiver: str
+    histogram: DistanceHistogram
+    golden_distances: np.ndarray
+    trojan_distances: np.ndarray
+    overlap: float
+    peak_shift_sigma: float
+
+    @property
+    def peaks_separable(self) -> bool:
+        """The paper's criterion: distribution-peak shift observable."""
+        return self.peak_shift_sigma > 1.0
+
+
+@dataclass
+class Fig6HistogramResult:
+    """Panels (a)-(d) or (e)-(h) for one receiver."""
+
+    receiver: str
+    panels: dict[str, Fig6Panel]
+
+    def format(self) -> str:
+        lines = [f"Fig. 6 histograms ({self.receiver})"]
+        for name, panel in self.panels.items():
+            lines.append(
+                f"  {name:<9} overlap={panel.overlap:.3f} "
+                f"peak shift={panel.peak_shift_sigma:5.2f} sigma "
+                f"separable={panel.peaks_separable}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig6_histograms(
+    chip: Chip,
+    scenario: Scenario,
+    receiver: str,
+    n_golden: int = 2000,
+    n_suspect: int = 2000,
+    trojans: tuple[str, ...] = DIGITAL_TROJANS,
+    bins: int = 80,
+) -> Fig6HistogramResult:
+    """Reproduce one histogram row of Figure 6 for *receiver*."""
+    golden = collect_ed_traces(
+        chip,
+        scenario,
+        n_golden,
+        receivers=(receiver,),
+        rng_role="fig6/golden",
+    )[receiver]
+    detector = EuclideanDetector().fit(golden)
+    golden_d = detector.golden_distances
+    assert golden_d is not None
+    panels: dict[str, Fig6Panel] = {}
+    for name in trojans:
+        suspect = collect_ed_traces(
+            chip,
+            scenario,
+            n_suspect,
+            trojan_enables=(name,),
+            receivers=(receiver,),
+            rng_role=f"fig6/{name}",
+        )[receiver]
+        trojan_d = detector.distances(suspect)
+        hist = distance_histogram(golden_d, trojan_d, bins=bins)
+        panels[name] = Fig6Panel(
+            trojan=name,
+            receiver=receiver,
+            histogram=hist,
+            golden_distances=golden_d,
+            trojan_distances=trojan_d,
+            overlap=histogram_overlap(hist),
+            peak_shift_sigma=peak_separation(hist, golden_d),
+        )
+    return Fig6HistogramResult(receiver=receiver, panels=panels)
+
+
+@dataclass
+class Fig6SpectrumPanel:
+    """One spectrum panel of Fig. 6(i)-(l)."""
+
+    trojan: str
+    golden: Spectrum
+    suspect: Spectrum
+    #: Extra energy below 4 MHz relative to golden (T1's signature).
+    low_freq_energy_ratio: float
+    #: Total spectral energy ratio suspect/golden (T2/T4 lift spots).
+    total_energy_ratio: float
+
+
+@dataclass
+class Fig6SpectraResult:
+    """Panels (i)-(l)."""
+
+    panels: dict[str, Fig6SpectrumPanel] = field(default_factory=dict)
+
+    def format(self) -> str:
+        lines = ["Fig. 6 sensor spectra"]
+        for name, p in self.panels.items():
+            lines.append(
+                f"  {name:<9} low-freq energy x{p.low_freq_energy_ratio:7.2f} "
+                f"total energy x{p.total_energy_ratio:6.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig6_spectra(
+    chip: Chip,
+    scenario: Scenario,
+    n_cycles: int = 4096,
+    receiver: str = "sensor",
+    trojans: tuple[str, ...] = DIGITAL_TROJANS,
+    low_band_hz: float = 4e6,
+) -> Fig6SpectraResult:
+    """Reproduce the spectral row of Figure 6."""
+    golden_rec = collect_spectral_record(
+        chip, scenario, n_cycles, receivers=(receiver,), rng_role="fig6s/golden"
+    )[receiver]
+    fs = chip.config.fs
+    golden = amplitude_spectrum(golden_rec, fs)
+    g_low = band_energy(golden, 1e5, low_band_hz)
+    g_tot = band_energy(golden, 1e5, fs / 2)
+    result = Fig6SpectraResult()
+    for name in trojans:
+        rec = collect_spectral_record(
+            chip,
+            scenario,
+            n_cycles,
+            trojan_enables=(name,),
+            receivers=(receiver,),
+            rng_role=f"fig6s/{name}",
+        )[receiver]
+        spec = amplitude_spectrum(rec, fs)
+        result.panels[name] = Fig6SpectrumPanel(
+            trojan=name,
+            golden=golden,
+            suspect=spec,
+            low_freq_energy_ratio=band_energy(spec, 1e5, low_band_hz) / max(g_low, 1e-30),
+            total_energy_ratio=band_energy(spec, 1e5, fs / 2) / max(g_tot, 1e-30),
+        )
+    return result

@@ -1,0 +1,86 @@
+"""Table I — Trojan sizes compared to the whole AES design.
+
+Gate counts come straight out of the generated netlists; percentages
+are relative to the AES gate count, and the A2 row is expressed as an
+area percentage (a 6-transistor analog cell has no gate count), exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.chip import ALL_TROJANS, Chip
+from repro.logic.stats import NetlistStats
+
+#: The paper's Table I, for side-by-side reporting.
+PAPER_TABLE1 = {
+    "aes": (33083, 100.0),
+    "trojan1": (1657, 5.01),
+    "trojan2": (2793, 8.44),
+    "trojan3": (250, 0.76),
+    "trojan4": (2793, 8.44),
+    "a2": (None, 0.087),  # area percentage
+}
+
+
+@dataclass
+class Table1Row:
+    """One row of the reproduced Table I."""
+
+    circuit: str
+    gate_count: int
+    percentage: float
+    is_area_percentage: bool = False
+
+
+@dataclass
+class Table1Result:
+    """The reproduced table plus raw stats."""
+
+    rows: list[Table1Row]
+    stats: NetlistStats
+
+    def format(self) -> str:
+        """Render in the paper's layout."""
+        lines = [f"{'Circuit':<10}{'Gate Count':>12}{'Percentage':>13}"]
+        for row in self.rows:
+            unit = " (area)" if row.is_area_percentage else ""
+            lines.append(
+                f"{row.circuit:<10}{row.gate_count:>12}"
+                f"{row.percentage:>11.2f}%{unit}"
+            )
+        return "\n".join(lines)
+
+
+def run_table1(chip: Chip) -> Table1Result:
+    """Compute Table I from the chip's netlist."""
+    stats = chip.stats()
+    rows = [
+        Table1Row(
+            circuit="aes",
+            gate_count=stats.groups["aes"].gate_count,
+            percentage=100.0,
+        )
+    ]
+    for name in ALL_TROJANS:
+        if name not in stats.groups:
+            continue
+        if name == "a2":
+            rows.append(
+                Table1Row(
+                    circuit=name,
+                    gate_count=stats.groups[name].gate_count,
+                    percentage=stats.area_percentage(name, "aes"),
+                    is_area_percentage=True,
+                )
+            )
+        else:
+            rows.append(
+                Table1Row(
+                    circuit=name,
+                    gate_count=stats.groups[name].gate_count,
+                    percentage=stats.gate_percentage(name, "aes"),
+                )
+            )
+    return Table1Result(rows=rows, stats=stats)

@@ -1,0 +1,101 @@
+"""Trojan identification: which Trojan is active?
+
+The paper's framework raises an alarm; a deployed system also wants to
+know *what* tripped it.  :class:`TrojanClassifier` extends the
+fingerprint idea to a nearest-template classifier: each known Trojan's
+EM signature (mean feature offset from golden) becomes a template, and
+a suspect trace set is attributed to the template its own offset most
+resembles (cosine similarity in the golden-normalised feature space).
+
+Templates are built from the defender's *own* characterisation runs —
+exactly the "features of the circuit's EM side-channel can be defined
+through simulations" workflow the paper assumes, extended per Trojan
+class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.euclidean import EuclideanDetector
+from repro.errors import AnalysisError
+
+
+@dataclass
+class Attribution:
+    """Outcome of one classification."""
+
+    label: str
+    similarity: float
+    scores: dict[str, float]
+    separation: float
+
+    def format(self) -> str:
+        ranked = sorted(self.scores.items(), key=lambda kv: -kv[1])
+        body = ", ".join(f"{k}: {v:.2f}" for k, v in ranked)
+        return (
+            f"attributed to {self.label!r} "
+            f"(cos = {self.similarity:.2f}; all: {body})"
+        )
+
+
+class TrojanClassifier:
+    """Nearest-template attribution on top of a fitted detector."""
+
+    def __init__(self, detector: EuclideanDetector) -> None:
+        if detector.golden_distances is None:
+            raise AnalysisError("detector must be fitted on golden traces")
+        self.detector = detector
+        self._templates: dict[str, np.ndarray] = {}
+
+    def add_template(self, label: str, traces: np.ndarray) -> None:
+        """Register a Trojan class from characterisation traces."""
+        if label in self._templates:
+            raise AnalysisError(f"template {label!r} already registered")
+        offset = self._offset(traces)
+        norm = np.linalg.norm(offset)
+        if norm == 0:
+            raise AnalysisError(
+                f"template {label!r} is indistinguishable from golden"
+            )
+        self._templates[label] = offset / norm
+
+    def _offset(self, traces: np.ndarray) -> np.ndarray:
+        feats = self.detector.features(traces)
+        assert self.detector._fingerprint is not None
+        return feats.mean(axis=0) - self.detector._fingerprint
+
+    @property
+    def labels(self) -> list[str]:
+        return sorted(self._templates)
+
+    def classify(self, traces: np.ndarray) -> Attribution:
+        """Attribute a suspect trace set to the closest template.
+
+        Raises
+        ------
+        AnalysisError
+            If no templates have been registered.
+        """
+        if not self._templates:
+            raise AnalysisError("no templates registered")
+        offset = self._offset(traces)
+        norm = np.linalg.norm(offset)
+        separation = float(norm)
+        if norm == 0:
+            direction = offset
+        else:
+            direction = offset / norm
+        scores = {
+            label: float(np.dot(direction, template))
+            for label, template in self._templates.items()
+        }
+        best = max(scores, key=lambda k: scores[k])
+        return Attribution(
+            label=best,
+            similarity=scores[best],
+            scores=scores,
+            separation=separation,
+        )

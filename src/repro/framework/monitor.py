@@ -1,0 +1,125 @@
+"""Streaming runtime monitor.
+
+"The monitor keeps reading the EM sensor output" — this class is the
+window-by-window alarm logic that turns the one-shot evaluator into a
+*runtime* framework.  Trace windows arrive one at a time; the monitor
+keeps a sliding record of their distances to the golden fingerprint
+and raises an :class:`AlarmEvent` when the recent separation leaves the
+golden envelope.  Hysteresis (consecutive-window confirmation) keeps a
+single noisy window from tripping the alarm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.framework.evaluator import RuntimeTrustEvaluator
+
+
+@dataclass(frozen=True)
+class AlarmEvent:
+    """One raised alarm."""
+
+    window_index: int
+    separation: float
+    threshold: float
+    message: str
+
+
+class RuntimeMonitor:
+    """Sliding-window alarm logic on top of a trained evaluator."""
+
+    def __init__(
+        self,
+        evaluator: RuntimeTrustEvaluator,
+        window: int = 64,
+        confirm: int = 3,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        evaluator:
+            Trained :class:`RuntimeTrustEvaluator`.
+        window:
+            Number of recent trace windows in the sliding estimate.
+        confirm:
+            Consecutive out-of-envelope estimates required to alarm.
+        """
+        if window < 2:
+            raise AnalysisError(f"window must be >= 2, got {window}")
+        if confirm < 1:
+            raise AnalysisError(f"confirm must be >= 1, got {confirm}")
+        self.evaluator = evaluator
+        self.window = window
+        self.confirm = confirm
+        self._features: deque[np.ndarray] = deque(maxlen=window)
+        self._streak = 0
+        self._count = 0
+        self.alarms: list[AlarmEvent] = []
+        # Under H0 a W-window mean sits ~d_rms/sqrt(W) from the
+        # fingerprint (d_rms = golden per-trace distance RMS); the
+        # fingerprint itself carries ~d_rms/sqrt(n_golden) of sampling
+        # error.  Three sigmas of the combined fluctuation is the alarm
+        # threshold.
+        detector = evaluator.detector
+        if detector.golden_distances is None:
+            raise AnalysisError("evaluator's detector is not fitted")
+        d_rms = float(np.sqrt(np.mean(detector.golden_distances**2)))
+        n_golden = detector.golden_distances.shape[0]
+        self.threshold = 3.0 * d_rms * np.sqrt(1.0 / window + 1.0 / n_golden)
+
+    @property
+    def windows_seen(self) -> int:
+        """Total trace windows processed."""
+        return self._count
+
+    def current_separation(self) -> float:
+        """Separation of the sliding window's mean feature vector."""
+        if not self._features:
+            raise AnalysisError("no windows observed yet")
+        detector = self.evaluator.detector
+        assert detector._fingerprint is not None
+        mean_feat = np.mean(np.stack(self._features), axis=0)
+        return float(np.linalg.norm(mean_feat - detector._fingerprint))
+
+    def observe(self, trace: np.ndarray) -> AlarmEvent | None:
+        """Feed one trace window; returns an alarm if one fires now."""
+        detector = self.evaluator.detector
+        feat = detector.features(np.atleast_2d(trace))[0]
+        self._features.append(feat)
+        self._count += 1
+        if len(self._features) < self.window:
+            return None
+        sep = self.current_separation()
+        threshold = self.threshold
+        if sep > threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak == self.confirm:
+            event = AlarmEvent(
+                window_index=self._count,
+                separation=sep,
+                threshold=threshold,
+                message=(
+                    f"EM fingerprint left the golden envelope "
+                    f"({sep:.3f} > {threshold:.3f}) for {self.confirm} "
+                    "consecutive windows"
+                ),
+            )
+            self.alarms.append(event)
+            return event
+        return None
+
+    def observe_stream(self, traces: np.ndarray) -> list[AlarmEvent]:
+        """Feed many windows; returns every alarm raised."""
+        events = []
+        for row in np.atleast_2d(traces):
+            event = self.observe(row)
+            if event is not None:
+                events.append(event)
+        return events

@@ -1,0 +1,23 @@
+"""Persistence: trace campaigns and experiment results on disk.
+
+Long campaigns are worth keeping — a silicon-scenario Fig. 6 run takes
+minutes — so :mod:`repro.io.store` saves trace sets as compressed
+``.npz`` bundles with a JSON manifest (scenario, chip seed, Trojan
+enables) and reloads them with integrity checks.
+"""
+
+from repro.io.store import (
+    TraceBundle,
+    load_traces,
+    save_traces,
+    load_json_report,
+    save_json_report,
+)
+
+__all__ = [
+    "TraceBundle",
+    "load_traces",
+    "save_traces",
+    "load_json_report",
+    "save_json_report",
+]

@@ -1,0 +1,118 @@
+"""Trace-campaign persistence.
+
+A :class:`TraceBundle` couples the trace matrix with the metadata
+needed to interpret it later (receiver, sample rate, chip seed,
+scenario name, Trojan enables, free-form extras).  Bundles round-trip
+through a single compressed ``.npz`` file; a SHA-256 digest of the
+trace bytes guards against silent corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+
+@dataclass
+class TraceBundle:
+    """A stored trace campaign."""
+
+    traces: np.ndarray
+    receiver: str
+    fs: float
+    chip_seed: int
+    scenario: str
+    trojan_enables: tuple[str, ...] = ()
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def n_traces(self) -> int:
+        return self.traces.shape[0]
+
+    def digest(self) -> str:
+        """SHA-256 of the trace bytes."""
+        return hashlib.sha256(
+            np.ascontiguousarray(self.traces).tobytes()
+        ).hexdigest()
+
+
+def save_traces(bundle: TraceBundle, path: str | Path) -> None:
+    """Write a bundle to a compressed ``.npz`` file."""
+    if bundle.traces.ndim != 2:
+        raise MeasurementError(
+            f"trace matrix must be 2-D, got shape {bundle.traces.shape}"
+        )
+    manifest = {
+        "receiver": bundle.receiver,
+        "fs": bundle.fs,
+        "chip_seed": bundle.chip_seed,
+        "scenario": bundle.scenario,
+        "trojan_enables": list(bundle.trojan_enables),
+        "extras": bundle.extras,
+        "sha256": bundle.digest(),
+        "format_version": 1,
+    }
+    np.savez_compressed(
+        path,
+        traces=bundle.traces,
+        manifest=np.frombuffer(
+            json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_traces(path: str | Path) -> TraceBundle:
+    """Load a bundle, verifying the stored digest.
+
+    Raises
+    ------
+    MeasurementError
+        If the file is not a trace bundle or the digest mismatches.
+    """
+    with np.load(path) as data:
+        if "traces" not in data or "manifest" not in data:
+            raise MeasurementError(f"{path} is not a repro trace bundle")
+        traces = data["traces"]
+        manifest = json.loads(bytes(data["manifest"].tobytes()).decode("utf-8"))
+    bundle = TraceBundle(
+        traces=traces,
+        receiver=manifest["receiver"],
+        fs=float(manifest["fs"]),
+        chip_seed=int(manifest["chip_seed"]),
+        scenario=manifest["scenario"],
+        trojan_enables=tuple(manifest["trojan_enables"]),
+        extras=manifest.get("extras", {}),
+    )
+    if bundle.digest() != manifest["sha256"]:
+        raise MeasurementError(f"{path}: trace digest mismatch (corrupt file)")
+    return bundle
+
+
+def save_json_report(report: dict, path: str | Path) -> None:
+    """Write an experiment-result dictionary as pretty JSON."""
+
+    def _default(obj):
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        raise TypeError(f"not JSON-serialisable: {type(obj)!r}")
+
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True, default=_default)
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_json_report(path: str | Path) -> dict:
+    """Load a JSON experiment report."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,157 @@
+"""Cell-position → power-grid current-path mapping.
+
+For every placed cell, its switching current is assumed to flow from
+the nearest pad edge down the nearest VDD stripe, along the row's VDD
+rail to the cell, and back along the VSS rail and stripe.  Each
+traversed tile of the :class:`~repro.layout.power_grid.PowerGrid`
+receives a signed unit entry in a sparse ``(n_segments, n_cells)``
+matrix; multiplying the per-segment EM coupling vector by this matrix
+yields the single per-cell coupling weight that makes trace synthesis a
+cheap reduction (see :mod:`repro.em.coupling`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import LayoutError
+from repro.layout.power_grid import PowerGrid
+
+
+@dataclass
+class CurrentMap:
+    """Sparse signed mapping from cell currents to segment currents."""
+
+    matrix: sparse.csr_matrix  # (n_segments, n_cells)
+    grid: PowerGrid
+
+    @property
+    def n_cells(self) -> int:
+        return self.matrix.shape[1]
+
+    def cell_weights(self, segment_coupling: np.ndarray) -> np.ndarray:
+        """Fold per-segment couplings into per-cell weights.
+
+        ``segment_coupling`` has shape ``(n_segments,)`` (henries, from
+        the Neumann solver); the result has shape ``(n_cells,)``.
+        """
+        coupling = np.asarray(segment_coupling, dtype=np.float64)
+        if coupling.shape != (self.grid.n_segments,):
+            raise LayoutError(
+                f"coupling vector has shape {coupling.shape}, expected "
+                f"({self.grid.n_segments},)"
+            )
+        return np.asarray(coupling @ self.matrix).ravel()
+
+
+def _path_entries(
+    grid: PowerGrid, x: float, y: float
+) -> tuple[list[int], list[float]]:
+    """Signed tile path for one cell at (x, y)."""
+    rh_row = min(max(int(y / (grid.die_height / grid.n_rows)), 0), grid.n_rows - 1)
+    kx = min(int(x / grid.tile_len), grid.n_tiles_x - 1)
+    stripe = grid.nearest_stripe(x)
+    ks = min(int(grid.stripe_xs[stripe] / grid.tile_len), grid.n_tiles_x - 1)
+    ky = min(int(y / grid.tile_len), grid.n_tiles_y - 1)
+
+    seg_ids: list[int] = []
+    values: list[float] = []
+
+    # Horizontal rail tiles between the stripe tap and the cell.  VDD
+    # current flows stripe -> cell; VSS return flows cell -> stripe.
+    if kx >= ks:
+        rail_tiles = range(ks, kx + 1)
+        sign = 1.0  # +x direction
+    else:
+        rail_tiles = range(kx, ks + 1)
+        sign = -1.0
+    for k in rail_tiles:
+        seg_ids.append(grid.vdd_rail_tile(rh_row, k))
+        values.append(sign)
+        seg_ids.append(grid.vss_rail_tile(rh_row, k))
+        values.append(-sign)
+
+    # Vertical stripe tiles between the nearest ring edge and the row.
+    from_bottom = y < 0.5 * grid.die_height
+    if from_bottom:
+        stripe_tiles = range(0, ky + 1)
+        sign = 1.0  # +y direction (bottom ring feeding upward)
+    else:
+        stripe_tiles = range(ky, grid.n_tiles_y)
+        sign = -1.0  # current flows downward from the top ring
+    for k in stripe_tiles:
+        seg_ids.append(grid.vdd_stripe_tile(stripe, k))
+        values.append(sign)
+        seg_ids.append(grid.vss_stripe_tile(stripe, k))
+        values.append(-sign)
+
+    # Ring tiles: VDD pads on the left edge feed rightward to the
+    # stripe; VSS return continues rightward from the stripe to the
+    # right-edge pads.  Both runs carry current in +x, so the global
+    # path adds coherently across the whole die.
+    if from_bottom:
+        vdd_base, vss_base = grid.ring_vdd_bottom_base, grid.ring_vss_bottom_base
+    else:
+        vdd_base, vss_base = grid.ring_vdd_top_base, grid.ring_vss_top_base
+    ring_frac = grid.ring_current_fraction
+    for k in range(0, ks + 1):
+        seg_ids.append(grid.ring_tile(vdd_base, k))
+        values.append(ring_frac)
+    for k in range(ks, grid.n_tiles_x):
+        seg_ids.append(grid.ring_tile(vss_base, k))
+        values.append(ring_frac)
+
+    return seg_ids, values
+
+
+def build_current_map(
+    grid: PowerGrid,
+    xs: np.ndarray,
+    ys: np.ndarray,
+) -> CurrentMap:
+    """Build the sparse current map for cells at ``(xs, ys)``.
+
+    The column order of the matrix matches the order of *xs*/*ys*
+    (i.e. the compiled netlist's instance order).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise LayoutError(
+            f"xs {xs.shape} and ys {ys.shape} must be equal-length 1-D arrays"
+        )
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for c, (x, y) in enumerate(zip(xs, ys)):
+        if not (0.0 <= x <= grid.die_width and 0.0 <= y <= grid.die_height):
+            raise LayoutError(
+                f"cell {c} at ({x:.2e}, {y:.2e}) lies outside the die"
+            )
+        seg_ids, values = _path_entries(grid, x, y)
+        rows.extend(seg_ids)
+        cols.extend([c] * len(seg_ids))
+        vals.extend(values)
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(grid.n_segments, xs.size)
+    )
+    return CurrentMap(matrix=matrix, grid=grid)
+
+
+def position_coupling(
+    grid: PowerGrid,
+    segment_coupling: np.ndarray,
+    x: float,
+    y: float,
+) -> float:
+    """EM coupling weight for a current source at an arbitrary (x, y).
+
+    Used for analog taps, which radiate from their Trojan's region
+    centroid rather than from a placed library cell.
+    """
+    seg_ids, values = _path_entries(grid, x, y)
+    coupling = np.asarray(segment_coupling, dtype=np.float64)
+    return float(sum(coupling[s] * v for s, v in zip(seg_ids, values)))

@@ -1,0 +1,165 @@
+"""Design-rule checking for the generated physical design.
+
+A pragmatic DRC pass over the pieces this library generates: metal
+widths against each layer's minimum, the sensor spiral's turn-to-turn
+spacing, coil containment within the die, region containment and
+pairwise region overlap in the floorplan, and placement rows inside
+their regions.  The paper's only physical constraint — "the width of
+the coils is set not to violate the design rules of the minimum width
+of the wires" — is literally one of these checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.layout.floorplan import Floorplan
+from repro.layout.power_grid import PowerGrid
+from repro.layout.technology import Technology
+
+if TYPE_CHECKING:  # avoids a layout <-> em import cycle at runtime
+    from repro.em.sensor import OnChipSensor
+
+
+@dataclass
+class DrcViolation:
+    """One design-rule violation."""
+
+    rule: str
+    detail: str
+
+
+@dataclass
+class DrcReport:
+    """Outcome of a DRC run."""
+
+    violations: list[DrcViolation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def add(self, rule: str, detail: str) -> None:
+        self.violations.append(DrcViolation(rule=rule, detail=detail))
+
+    def format(self) -> str:
+        if self.clean:
+            return f"DRC clean ({self.checks_run} checks)"
+        lines = [f"DRC: {len(self.violations)} violation(s):"]
+        lines += [f"  [{v.rule}] {v.detail}" for v in self.violations[:20]]
+        return "\n".join(lines)
+
+
+def check_power_grid(
+    grid: PowerGrid, tech: Technology, report: DrcReport
+) -> None:
+    """Metal widths of every grid segment against layer minimums."""
+    z_by_layer = {layer.z: layer for layer in tech.layers.values()}
+    for z, width, idx in zip(
+        grid.seg_start[:, 2], grid.seg_width, range(grid.n_segments)
+    ):
+        layer = z_by_layer.get(float(z))
+        report.checks_run += 1
+        if layer is None:
+            report.add("grid.layer", f"segment {idx} at unknown z={z:.2e}")
+        elif width < layer.min_width:
+            report.add(
+                "grid.min-width",
+                f"segment {idx} width {width:.2e} < {layer.name} minimum "
+                f"{layer.min_width:.2e}",
+            )
+
+
+def check_sensor(
+    sensor: "OnChipSensor",
+    floorplan: Floorplan,
+    tech: Technology,
+    report: DrcReport,
+) -> None:
+    """Sensor coil: width, turn spacing, containment, layer exclusivity."""
+    layer = tech.layer(tech.sensor_layer)
+    report.checks_run += 1
+    if sensor.trace_width < layer.min_width:
+        report.add(
+            "sensor.min-width",
+            f"coil width {sensor.trace_width:.2e} < {layer.name} minimum",
+        )
+    report.checks_run += 1
+    gap = sensor.pitch - sensor.trace_width
+    if gap < layer.min_width:
+        report.add(
+            "sensor.spacing",
+            f"turn-to-turn gap {gap:.2e} below minimum spacing "
+            f"{layer.min_width:.2e}",
+        )
+    report.checks_run += 1
+    die = floorplan.die
+    pts = sensor.polyline
+    margin = sensor.trace_width / 2
+    if (
+        pts[:, 0].min() < die.x0 + margin - 1e-12
+        or pts[:, 0].max() > die.x1 - margin + 1e-12
+        or pts[:, 1].min() < die.y0 + margin - 1e-12
+        or pts[:, 1].max() > die.y1 - margin + 1e-12
+    ):
+        report.add("sensor.containment", "coil extends beyond the die edge")
+    report.checks_run += 1
+    if not np.allclose(pts[:, 2], layer.z):
+        report.add("sensor.layer", "coil leaves the reserved top layer")
+
+
+def check_floorplan(floorplan: Floorplan, report: DrcReport) -> None:
+    """Regions inside the die and pairwise non-overlapping."""
+    die = floorplan.die
+    regions = list(floorplan.regions.values())
+    for region in regions:
+        report.checks_run += 1
+        r = region.rect
+        if (
+            r.x0 < die.x0 - 1e-12
+            or r.y0 < die.y0 - 1e-12
+            or r.x1 > die.x1 + 1e-12
+            or r.y1 > die.y1 + 1e-12
+        ):
+            report.add(
+                "floorplan.containment",
+                f"region {region.group!r} leaves the die",
+            )
+    for i, a in enumerate(regions):
+        for b in regions[i + 1 :]:
+            report.checks_run += 1
+            ox = min(a.rect.x1, b.rect.x1) - max(a.rect.x0, b.rect.x0)
+            oy = min(a.rect.y1, b.rect.y1) - max(a.rect.y0, b.rect.y0)
+            if ox > 1e-12 and oy > 1e-12:
+                report.add(
+                    "floorplan.overlap",
+                    f"regions {a.group!r} and {b.group!r} overlap",
+                )
+
+
+def check_top_layer_reserved(
+    grid: PowerGrid, tech: Technology, report: DrcReport
+) -> None:
+    """The paper's constraint: nothing but the sensor on the top layer."""
+    z_top = tech.layer(tech.sensor_layer).z
+    report.checks_run += 1
+    if (grid.seg_start[:, 2] >= z_top - 1e-12).any():
+        report.add(
+            "top-layer.reserved",
+            "power-grid segments found on the sensor layer",
+        )
+
+
+def run_drc(chip) -> DrcReport:
+    """Full DRC over an assembled :class:`~repro.chip.chip.Chip`."""
+    report = DrcReport()
+    check_power_grid(chip.grid, chip.tech, report)
+    check_sensor(chip.sensor, chip.floorplan, chip.tech, report)
+    check_floorplan(chip.floorplan, report)
+    check_top_layer_reserved(chip.grid, chip.tech, report)
+    return report

@@ -1,0 +1,56 @@
+"""Gate-level logic substrate.
+
+This subpackage provides everything needed to *be* the circuit under
+test: a small 180 nm-flavoured standard-cell library
+(:mod:`repro.logic.library`), a netlist data model
+(:mod:`repro.logic.netlist`), structural composition helpers
+(:mod:`repro.logic.builder`), a batch event-driven logic simulator
+(:mod:`repro.logic.simulator`) and switching-activity recorders
+(:mod:`repro.logic.activity`).
+
+The AES design, the four digital Trojans and the A2 trigger divider are
+all built on top of these primitives; the power and EM models consume
+the per-cycle switching activity the simulator reports.
+"""
+
+from repro.logic.cells import CellKind, StdCell
+from repro.logic.library import LIBRARY, get_cell, list_cells
+from repro.logic.netlist import Instance, Net, Netlist
+from repro.logic.builder import NetlistBuilder
+from repro.logic.simulator import CompiledNetlist, SimulationState
+from repro.logic.activity import (
+    ActivityAccumulator,
+    ToggleCountRecorder,
+    TraceRecorder,
+)
+from repro.logic.stats import NetlistStats, netlist_stats
+from repro.logic.verilog import netlist_to_verilog, write_verilog
+from repro.logic.vcd import VcdWriter
+from repro.logic.equivalence import EquivalenceReport, random_equivalence_check
+from repro.logic.timing import TimingReport, analyze_timing
+
+__all__ = [
+    "CellKind",
+    "StdCell",
+    "LIBRARY",
+    "get_cell",
+    "list_cells",
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistBuilder",
+    "CompiledNetlist",
+    "SimulationState",
+    "ActivityAccumulator",
+    "ToggleCountRecorder",
+    "TraceRecorder",
+    "NetlistStats",
+    "netlist_stats",
+    "netlist_to_verilog",
+    "write_verilog",
+    "VcdWriter",
+    "EquivalenceReport",
+    "random_equivalence_check",
+    "TimingReport",
+    "analyze_timing",
+]

@@ -1,0 +1,144 @@
+"""Switching-activity recorders.
+
+The simulator emits one toggle matrix per cycle; these helpers fold that
+stream into the aggregates the rest of the pipeline needs:
+
+* :class:`ToggleCountRecorder` — plain per-instance toggle totals, used
+  for power reports and activity statistics;
+* :class:`ActivityAccumulator` — per-cycle, per-delay-bin *weighted*
+  toggle sums.  With weights set to each cell's EM coupling coefficient
+  (see :mod:`repro.em.coupling`) its output is, up to the pulse shape,
+  the sensor waveform itself — this reduction is what lets a 33 k-gate
+  design produce tens of thousands of traces in seconds;
+* :class:`TraceRecorder` — full raw toggle history, for unit tests and
+  small circuits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.logic.netlist import Netlist
+from repro.logic.simulator import CompiledNetlist
+
+
+class ToggleCountRecorder:
+    """Accumulates total output toggles per instance."""
+
+    def __init__(self, sim: CompiledNetlist) -> None:
+        self._sim = sim
+        self.counts = np.zeros(sim.num_instances, dtype=np.int64)
+        self.cycles = 0
+
+    def record(self, toggles: np.ndarray) -> None:
+        """Fold in one cycle's toggle matrix (summing over the batch)."""
+        if toggles.shape[0] != self._sim.num_instances:
+            raise SimulationError(
+                f"toggle matrix has {toggles.shape[0]} rows, expected "
+                f"{self._sim.num_instances}"
+            )
+        self.counts += toggles.sum(axis=1)
+        self.cycles += 1
+
+    def counts_by_group(self) -> dict[str, int]:
+        """Total toggles aggregated per instance group."""
+        netlist = self._sim.netlist
+        out: dict[str, int] = {}
+        for name, count in zip(self._sim.instance_names, self.counts):
+            group = netlist.instances[name].group
+            out[group] = out.get(group, 0) + int(count)
+        return out
+
+    def activity_factor(self) -> np.ndarray:
+        """Average toggles per instance per cycle (per batch column)."""
+        if self.cycles == 0:
+            raise SimulationError("no cycles recorded yet")
+        return self.counts / float(self.cycles)
+
+
+class ActivityAccumulator:
+    """Per-cycle weighted toggle sums, grouped by switching-delay bin.
+
+    Parameters
+    ----------
+    weights:
+        Per-instance scalar weight, shape ``(num_instances,)``.  The EM
+        pipeline passes each cell's flux-coupling coefficient times its
+        switched charge.
+    bins:
+        Per-instance integer delay bin, shape ``(num_instances,)``.  The
+        power model derives these from topological levels so that deep
+        gates switch later within the clock period.
+    """
+
+    def __init__(self, weights: np.ndarray, bins: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        bins = np.asarray(bins, dtype=np.int64)
+        if weights.shape != bins.shape or weights.ndim != 1:
+            raise SimulationError(
+                f"weights {weights.shape} and bins {bins.shape} must be "
+                "equal-length 1-D arrays"
+            )
+        if bins.size and bins.min() < 0:
+            raise SimulationError("delay bins must be non-negative")
+        self.weights = weights
+        self.bins = bins
+        self.num_bins = int(bins.max(initial=-1)) + 1
+        self._frames: list[np.ndarray] = []
+
+    def record(self, toggles: np.ndarray) -> None:
+        """Fold in one cycle's toggle matrix of shape ``(insts, batch)``."""
+        if toggles.shape[0] != self.weights.shape[0]:
+            raise SimulationError(
+                f"toggle matrix has {toggles.shape[0]} rows, expected "
+                f"{self.weights.shape[0]}"
+            )
+        batch = toggles.shape[1]
+        frame = np.zeros((self.num_bins, batch), dtype=np.float64)
+        weighted = toggles * self.weights[:, None]
+        np.add.at(frame, self.bins, weighted)
+        self._frames.append(frame)
+
+    @property
+    def cycles(self) -> int:
+        """Number of cycles recorded so far."""
+        return len(self._frames)
+
+    def result(self) -> np.ndarray:
+        """Stacked history of shape ``(cycles, num_bins, batch)``."""
+        if not self._frames:
+            raise SimulationError("no cycles recorded yet")
+        return np.stack(self._frames, axis=0)
+
+    def clear(self) -> None:
+        """Drop all recorded frames (weights/bins are kept)."""
+        self._frames.clear()
+
+
+class TraceRecorder:
+    """Keeps the raw toggle matrix of every cycle (small circuits only)."""
+
+    def __init__(self, sim: CompiledNetlist, limit_cycles: int = 100_000) -> None:
+        self._sim = sim
+        self._limit = limit_cycles
+        self._frames: list[np.ndarray] = []
+
+    def record(self, toggles: np.ndarray) -> None:
+        """Store one cycle's toggle matrix."""
+        if len(self._frames) >= self._limit:
+            raise SimulationError(
+                f"TraceRecorder limit of {self._limit} cycles exceeded"
+            )
+        self._frames.append(toggles.copy())
+
+    def history(self) -> np.ndarray:
+        """Array of shape ``(cycles, num_instances, batch)``."""
+        if not self._frames:
+            raise SimulationError("no cycles recorded yet")
+        return np.stack(self._frames, axis=0)
+
+    def toggles_of(self, instance_name: str) -> np.ndarray:
+        """Toggle history of one instance, shape ``(cycles, batch)``."""
+        idx = self._sim.instance_index[instance_name]
+        return self.history()[:, idx, :]

@@ -1,0 +1,292 @@
+"""Netlist data model.
+
+A :class:`Netlist` is a flat graph of named :class:`Net` objects and
+:class:`Instance` objects (standard cells with pin→net bindings).  The
+clock is implicit: every sequential cell updates on the same global
+rising edge, which matches the single-clock AES testchip of the paper.
+
+Instances carry a free-form ``group`` label ("aes", "trojan1", ...)
+used by Table I gate accounting and by the floorplanner to place each
+subsystem in its own region, mirroring the paper's Figure 3 layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import NetlistError, SimulationError
+from repro.logic.cells import CellKind, StdCell
+from repro.logic.library import get_cell
+
+
+@dataclass
+class Net:
+    """A single-bit signal wire.
+
+    ``driver`` is the name of the driving instance, or ``"<input>"`` for
+    primary inputs; ``loads`` lists ``(instance_name, pin_name)`` pairs.
+    """
+
+    name: str
+    driver: str | None = None
+    loads: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        """Number of input pins this net drives."""
+        return len(self.loads)
+
+
+@dataclass
+class Instance:
+    """A placed-by-name standard cell with pin→net bindings."""
+
+    name: str
+    cell: StdCell
+    pins: dict[str, str]
+    group: str = ""
+
+    def input_nets(self) -> tuple[str, ...]:
+        """Net names bound to the cell's input pins, in pin order."""
+        return tuple(self.pins[p] for p in self.cell.inputs)
+
+    @property
+    def output_net(self) -> str:
+        """Net name bound to the cell's output pin."""
+        return self.pins[self.cell.output]
+
+
+#: Pseudo-driver name recorded on primary-input nets.
+INPUT_DRIVER = "<input>"
+
+
+class Netlist:
+    """A flat single-clock gate-level netlist."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.nets: dict[str, Net] = {}
+        self.instances: dict[str, Instance] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        #: Initial Q value of sequential instances after reset; flops not
+        #: listed here reset to logic 0.
+        self.ff_init: dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_net(self, name: str) -> Net:
+        """Create and return a new net.
+
+        Raises
+        ------
+        NetlistError
+            If a net of that name already exists.
+        """
+        if name in self.nets:
+            raise NetlistError(f"net {name!r} already exists in {self.name!r}")
+        net = Net(name)
+        self.nets[name] = net
+        return net
+
+    def add_input(self, name: str) -> Net:
+        """Create a primary-input net."""
+        net = self.add_net(name)
+        net.driver = INPUT_DRIVER
+        self.inputs.append(name)
+        return net
+
+    def mark_output(self, name: str) -> None:
+        """Flag an existing net as a primary output.
+
+        Raises
+        ------
+        NetlistError
+            If the net does not exist or is already an output.
+        """
+        if name not in self.nets:
+            raise NetlistError(f"cannot mark unknown net {name!r} as output")
+        if name in self.outputs:
+            raise NetlistError(f"net {name!r} is already a primary output")
+        self.outputs.append(name)
+
+    def add_instance(
+        self,
+        name: str,
+        cell_name: str,
+        pins: dict[str, str],
+        group: str = "",
+    ) -> Instance:
+        """Instantiate a library cell.
+
+        All nets referenced in *pins* must already exist.  The output net
+        must not have another driver.
+
+        Raises
+        ------
+        NetlistError
+            On duplicate instance names, unknown nets/pins, missing pins
+            or multiply-driven nets.
+        """
+        if name in self.instances:
+            raise NetlistError(f"instance {name!r} already exists")
+        cell = get_cell(cell_name)
+        expected = set(cell.inputs) | {cell.output}
+        if set(pins) != expected:
+            raise NetlistError(
+                f"instance {name!r} of {cell_name}: pins {sorted(pins)} "
+                f"do not match cell pins {sorted(expected)}"
+            )
+        for pin, net_name in pins.items():
+            if net_name not in self.nets:
+                raise NetlistError(
+                    f"instance {name!r} pin {pin}: unknown net {net_name!r}"
+                )
+        out_net = self.nets[pins[cell.output]]
+        if out_net.driver is not None:
+            raise NetlistError(
+                f"net {out_net.name!r} already driven by {out_net.driver!r}; "
+                f"cannot also drive from {name!r}"
+            )
+        inst = Instance(name=name, cell=cell, pins=dict(pins), group=group)
+        self.instances[name] = inst
+        out_net.driver = name
+        for pin in cell.inputs:
+            self.nets[pins[pin]].loads.append((name, pin))
+        return inst
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def iter_instances(self, group: str | None = None) -> Iterator[Instance]:
+        """Iterate instances, optionally restricted to one group."""
+        for inst in self.instances.values():
+            if group is None or inst.group == group:
+                yield inst
+
+    def groups(self) -> list[str]:
+        """Sorted list of distinct instance group labels."""
+        return sorted({inst.group for inst in self.instances.values()})
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    def sequential_instances(self) -> list[Instance]:
+        """All flip-flop instances in insertion order."""
+        return [i for i in self.instances.values() if i.cell.is_sequential]
+
+    def combinational_instances(self) -> list[Instance]:
+        """All combinational instances in insertion order."""
+        return [
+            i
+            for i in self.instances.values()
+            if i.cell.kind is CellKind.COMBINATIONAL
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation and levelisation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural sanity.
+
+        Raises
+        ------
+        NetlistError
+            If any net is undriven or any output is missing.
+        """
+        undriven = [n.name for n in self.nets.values() if n.driver is None]
+        if undriven:
+            shown = ", ".join(sorted(undriven)[:8])
+            raise NetlistError(
+                f"{len(undriven)} undriven net(s) in {self.name!r}: {shown}"
+            )
+        for out in self.outputs:
+            if out not in self.nets:
+                raise NetlistError(f"primary output {out!r} has no net")
+
+    def levelize(self) -> dict[str, int]:
+        """Assign a topological level to every *combinational* instance.
+
+        Sources (primary inputs, flip-flop outputs, tie cells) sit at
+        level 0; a combinational gate's level is one plus the maximum
+        level of its input drivers.  The result drives both the
+        vectorised simulator schedule and the switching-time bins of the
+        power model.
+
+        Raises
+        ------
+        SimulationError
+            If the combinational logic contains a cycle.
+        """
+        level: dict[str, int] = {}
+        comb = self.combinational_instances()
+        # Kahn's algorithm over combinational instances only.
+        indeg: dict[str, int] = {}
+        dependants: dict[str, list[str]] = {i.name: [] for i in comb}
+        for inst in comb:
+            count = 0
+            for net_name in inst.input_nets():
+                drv = self.nets[net_name].driver
+                if drv is not None and drv in self.instances:
+                    drv_inst = self.instances[drv]
+                    if drv_inst.cell.kind is CellKind.COMBINATIONAL:
+                        dependants[drv].append(inst.name)
+                        count += 1
+            indeg[inst.name] = count
+        ready = [name for name, d in indeg.items() if d == 0]
+        for name in ready:
+            level[name] = 0
+        head = 0
+        while head < len(ready):
+            name = ready[head]
+            head += 1
+            inst = self.instances[name]
+            base = 0
+            for net_name in inst.input_nets():
+                drv = self.nets[net_name].driver
+                if drv in level:
+                    base = max(base, level[drv] + 1)
+            level[name] = base
+            for nxt in dependants[name]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if len(level) != len(comb):
+            stuck = sorted(set(indeg) - set(level))[:8]
+            raise SimulationError(
+                f"combinational loop in {self.name!r} involving: "
+                + ", ".join(stuck)
+            )
+        return level
+
+    # ------------------------------------------------------------------
+    # Bulk helpers
+    # ------------------------------------------------------------------
+    def gate_count(self, groups: Iterable[str] | None = None) -> int:
+        """Number of instances, optionally restricted to some groups."""
+        if groups is None:
+            return len(self.instances)
+        wanted = set(groups)
+        return sum(1 for i in self.instances.values() if i.group in wanted)
+
+    def total_area(self, groups: Iterable[str] | None = None) -> float:
+        """Sum of cell areas in m², optionally restricted to some groups."""
+        wanted = None if groups is None else set(groups)
+        return sum(
+            i.cell.area
+            for i in self.instances.values()
+            if wanted is None or i.group in wanted
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Netlist({self.name!r}, instances={self.num_instances}, "
+            f"nets={self.num_nets})"
+        )

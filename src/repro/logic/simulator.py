@@ -1,0 +1,337 @@
+"""Vectorised cycle-based logic simulator.
+
+:class:`CompiledNetlist` lowers a :class:`~repro.logic.netlist.Netlist`
+into flat numpy index arrays once, then executes clock cycles over a
+whole *batch* of stimulus vectors simultaneously (one column per
+plaintext).  Semantics are the standard synchronous zero-delay model:
+
+* at every :meth:`step` the flip-flops capture the D values that were
+  settled at the end of the previous cycle (honouring ``EN`` pins),
+* new primary-input values are applied,
+* combinational logic is evaluated level by level.
+
+Each step reports, per instance and per batch column, whether the
+instance's output net toggled.  That toggle matrix — together with each
+instance's topological level, which approximates *when* within the
+cycle the gate switches — is the sole interface between logic and the
+power/EM models, mirroring how the paper couples Hspice currents to the
+EM solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.logic.cells import CellKind
+from repro.logic.netlist import Netlist
+
+BoolArray = np.ndarray
+
+
+@dataclass
+class SimulationState:
+    """Mutable per-run simulator state.
+
+    ``values`` has shape ``(num_nets, batch)`` and dtype bool; ``cycle``
+    counts completed :meth:`CompiledNetlist.step` calls since reset.
+    """
+
+    values: np.ndarray
+    cycle: int = 0
+
+    @property
+    def batch(self) -> int:
+        """Number of stimulus vectors simulated in parallel."""
+        return self.values.shape[1]
+
+
+@dataclass(frozen=True)
+class _CombGroup:
+    """All same-cell gates on one topological level, ready for gather."""
+
+    cell_name: str
+    function: object
+    in_idx: tuple[np.ndarray, ...]
+    out_idx: np.ndarray
+    inst_idx: np.ndarray
+
+
+class CompiledNetlist:
+    """A netlist lowered to numpy arrays for batched simulation."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.net_index: dict[str, int] = {
+            name: i for i, name in enumerate(netlist.nets)
+        }
+        self.num_nets = len(self.net_index)
+
+        instances = list(netlist.instances.values())
+        self.instance_names: list[str] = [inst.name for inst in instances]
+        self.instance_index: dict[str, int] = {
+            name: i for i, name in enumerate(self.instance_names)
+        }
+        self.num_instances = len(instances)
+        self.instance_out_idx = np.array(
+            [self.net_index[inst.output_net] for inst in instances],
+            dtype=np.int64,
+        )
+
+        levels = netlist.levelize()
+        self.instance_levels = np.array(
+            [levels.get(inst.name, 0) for inst in instances], dtype=np.int64
+        )
+        self.max_level = int(self.instance_levels.max(initial=0))
+
+        # --- sequential elements -------------------------------------
+        seq = [inst for inst in instances if inst.cell.is_sequential]
+        self.seq_instance_idx = np.array(
+            [self.instance_index[inst.name] for inst in seq], dtype=np.int64
+        )
+        self._seq_d_idx = np.array(
+            [self.net_index[inst.pins["D"]] for inst in seq], dtype=np.int64
+        )
+        self._seq_q_idx = np.array(
+            [self.net_index[inst.pins["Q"]] for inst in seq], dtype=np.int64
+        )
+        self._seq_en_idx = np.array(
+            [
+                self.net_index[inst.pins["EN"]] if "EN" in inst.pins else -1
+                for inst in seq
+            ],
+            dtype=np.int64,
+        )
+        self._seq_has_en = self._seq_en_idx >= 0
+        self._seq_init = np.array(
+            [bool(netlist.ff_init.get(inst.name, False)) for inst in seq],
+            dtype=bool,
+        )
+
+        # --- tie cells ------------------------------------------------
+        tie_idx: list[int] = []
+        tie_val: list[bool] = []
+        for inst in instances:
+            if inst.cell.is_tie:
+                tie_idx.append(self.net_index[inst.output_net])
+                tie_val.append(inst.cell.name == "TIE1")
+        self._tie_idx = np.array(tie_idx, dtype=np.int64)
+        self._tie_val = np.array(tie_val, dtype=bool)
+
+        # --- combinational schedule ------------------------------------
+        buckets: dict[tuple[int, str], list[int]] = {}
+        for i, inst in enumerate(instances):
+            if inst.cell.kind is not CellKind.COMBINATIONAL:
+                continue
+            key = (levels[inst.name], inst.cell.name)
+            buckets.setdefault(key, []).append(i)
+        self._schedule: list[_CombGroup] = []
+        for (level, cell_name) in sorted(buckets):
+            idxs = buckets[(level, cell_name)]
+            members = [instances[i] for i in idxs]
+            cell = members[0].cell
+            in_idx = tuple(
+                np.array(
+                    [self.net_index[m.pins[pin]] for m in members],
+                    dtype=np.int64,
+                )
+                for pin in cell.inputs
+            )
+            out_idx = np.array(
+                [self.net_index[m.output_net] for m in members], dtype=np.int64
+            )
+            self._schedule.append(
+                _CombGroup(
+                    cell_name=cell_name,
+                    function=cell.function,
+                    in_idx=in_idx,
+                    out_idx=out_idx,
+                    inst_idx=np.array(idxs, dtype=np.int64),
+                )
+            )
+
+        self._input_index = {
+            name: self.net_index[name] for name in netlist.inputs
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        batch: int = 1,
+        inputs: dict[str, BoolArray] | None = None,
+    ) -> SimulationState:
+        """Return a freshly reset state with combinational logic settled.
+
+        Flip-flops take their ``ff_init`` values; unspecified primary
+        inputs are 0.
+        """
+        if batch <= 0:
+            raise SimulationError(f"batch size must be positive, got {batch}")
+        values = np.zeros((self.num_nets, batch), dtype=bool)
+        state = SimulationState(values=values, cycle=0)
+        if self._seq_q_idx.size:
+            values[self._seq_q_idx] = self._seq_init[:, None]
+        if self._tie_idx.size:
+            values[self._tie_idx] = self._tie_val[:, None]
+        self._apply_inputs(state, inputs)
+        self._propagate(state)
+        return state
+
+    def step(
+        self,
+        state: SimulationState,
+        inputs: dict[str, BoolArray] | None = None,
+    ) -> BoolArray:
+        """Advance one clock cycle; return the per-instance toggle matrix.
+
+        The returned array has shape ``(num_instances, batch)`` and is
+        True where the instance's output net changed during this cycle.
+        """
+        values = state.values
+        prev = values[self.instance_out_idx].copy()
+
+        # Clock edge: capture D into Q (with enables) from settled values.
+        if self._seq_q_idx.size:
+            d_vals = values[self._seq_d_idx]
+            q_vals = values[self._seq_q_idx]
+            if self._seq_has_en.any():
+                en_idx = np.where(self._seq_has_en, self._seq_en_idx, 0)
+                en_vals = values[en_idx]
+                en_vals[~self._seq_has_en] = True
+            else:
+                en_vals = np.ones_like(d_vals)
+            values[self._seq_q_idx] = np.where(en_vals, d_vals, q_vals)
+
+        self._apply_inputs(state, inputs)
+        self._propagate(state)
+        state.cycle += 1
+        return values[self.instance_out_idx] != prev
+
+    def run(
+        self,
+        state: SimulationState,
+        cycles: int,
+        inputs: dict[str, BoolArray] | None = None,
+    ) -> BoolArray:
+        """Run *cycles* steps with constant inputs; return summed toggles.
+
+        The result has shape ``(num_instances, batch)`` with integer
+        toggle counts — handy for activity statistics.
+        """
+        total = np.zeros((self.num_instances, state.batch), dtype=np.int64)
+        for _ in range(cycles):
+            total += self.step(state, inputs)
+            inputs = None  # only applied on the first cycle
+        return total
+
+    def output_values(self, state: SimulationState) -> BoolArray:
+        """Current output-net value of every instance, ``(n_inst, batch)``.
+
+        Combined with a toggle matrix this distinguishes rising from
+        falling output transitions (a cell that just toggled and now
+        reads 1 rose) — the power model draws more VDD current on rises.
+        """
+        return state.values[self.instance_out_idx]
+
+    def clock_enable_values(self, state: SimulationState) -> BoolArray:
+        """Per-sequential-instance clock-enable status, ``(n_seq, batch)``.
+
+        Rows align with :attr:`seq_instance_idx`.  Plain DFFs are always
+        clocked; DFFEs only when their EN pin is high — the model's
+        stand-in for integrated clock gating, which is what keeps a
+        dormant (clock-gated) Trojan free of clock-tree current.
+        """
+        if self._seq_d_idx.size == 0:
+            return np.zeros((0, state.batch), dtype=bool)
+        if self._seq_has_en.any():
+            en_idx = np.where(self._seq_has_en, self._seq_en_idx, 0)
+            en_vals = state.values[en_idx].copy()
+            en_vals[~self._seq_has_en] = True
+        else:
+            en_vals = np.ones((self._seq_d_idx.size, state.batch), dtype=bool)
+        return en_vals
+
+    def force_net(
+        self,
+        state: SimulationState,
+        net: str,
+        value: BoolArray | bool,
+        propagate: bool = True,
+    ) -> None:
+        """Override a net's value (fault injection, e.g. an A2 payload).
+
+        With *propagate* the combinational logic re-settles so the
+        forced value is visible downstream before the next clock edge.
+        """
+        idx = self.net_index.get(net)
+        if idx is None:
+            raise SimulationError(f"unknown net {net!r}")
+        arr = np.asarray(value, dtype=bool)
+        if arr.ndim == 0:
+            arr = np.full(state.batch, bool(arr))
+        state.values[idx] = arr
+        if propagate:
+            self._propagate(state)
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    def read(self, state: SimulationState, net: str) -> BoolArray:
+        """Current value of one net across the batch."""
+        return state.values[self.net_index[net]].copy()
+
+    def read_bus(self, state: SimulationState, bus: list[str]) -> np.ndarray:
+        """Bus values as an integer array of shape ``(batch,)``.
+
+        Only valid for buses up to 63 bits; wider buses should be read
+        with :meth:`read_bus_bits`.
+        """
+        if len(bus) > 63:
+            raise SimulationError(
+                f"read_bus supports up to 63 bits, got {len(bus)}; "
+                "use read_bus_bits"
+            )
+        bits = state.values[[self.net_index[n] for n in bus]]
+        out = np.zeros(state.batch, dtype=np.int64)
+        for row in bits:
+            out = (out << 1) | row.astype(np.int64)
+        return out
+
+    def read_bus_bits(self, state: SimulationState, bus: list[str]) -> np.ndarray:
+        """Bus values as a bool array of shape ``(width, batch)``, MSB first."""
+        return state.values[[self.net_index[n] for n in bus]].copy()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_inputs(
+        self,
+        state: SimulationState,
+        inputs: dict[str, BoolArray] | None,
+    ) -> None:
+        if not inputs:
+            return
+        for name, vals in inputs.items():
+            idx = self._input_index.get(name)
+            if idx is None:
+                raise SimulationError(f"{name!r} is not a primary input")
+            arr = np.asarray(vals, dtype=bool)
+            if arr.ndim == 0:
+                arr = np.full(state.batch, bool(arr))
+            if arr.shape != (state.batch,):
+                raise SimulationError(
+                    f"input {name!r} has shape {arr.shape}, "
+                    f"expected ({state.batch},)"
+                )
+            state.values[idx] = arr
+
+    def _propagate(self, state: SimulationState) -> None:
+        values = state.values
+        for grp in self._schedule:
+            args = [values[idx] for idx in grp.in_idx]
+            values[grp.out_idx] = grp.function(*args)

@@ -1,0 +1,150 @@
+"""Static timing analysis (topological, unit-delay-per-cell model).
+
+A PrimeTime-lite for the generated netlists: per-cell delays are
+derived from drive strength and output load, arrival times propagate
+through the levelised combinational graph, and the report gives the
+critical path, the maximum clock frequency and the slack at a target
+period.  The AES generator's tests use this to prove the design closes
+timing at the chip's 24 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.logic.cells import CellKind
+from repro.logic.netlist import INPUT_DRIVER, Netlist
+
+#: Intrinsic cell delay floor [s].
+INTRINSIC_DELAY = 60e-12
+
+#: Delay per farad of output load per ampere of drive [s·A/F]... the
+#: simple RC surrogate below uses  delay = intrinsic + Vdd * C / I.
+VDD = 1.8
+
+
+def cell_delay(netlist: Netlist, instance_name: str) -> float:
+    """Load-dependent propagation delay of one instance [s]."""
+    inst = netlist.instances[instance_name]
+    out_net = netlist.nets[inst.output_net]
+    load = inst.cell.output_cap
+    for load_name, _pin in out_net.loads:
+        load += netlist.instances[load_name].cell.input_cap
+    if inst.cell.drive_current <= 0:
+        return INTRINSIC_DELAY
+    return INTRINSIC_DELAY + VDD * load / inst.cell.drive_current
+
+
+@dataclass
+class TimingPath:
+    """One register-to-register (or port-to-register) path."""
+
+    instances: list[str]
+    delay: float
+
+    def format(self) -> str:
+        chain = " -> ".join(self.instances[-12:])
+        prefix = "... -> " if len(self.instances) > 12 else ""
+        return f"{self.delay * 1e9:.3f} ns: {prefix}{chain}"
+
+
+@dataclass
+class TimingReport:
+    """Outcome of a full-netlist STA run."""
+
+    critical_path: TimingPath
+    max_frequency: float
+    clock_period: float
+    slack: float
+    arrival_times: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def met(self) -> bool:
+        """True when the design closes timing at the target period."""
+        return self.slack >= 0.0
+
+    def format(self) -> str:
+        status = "MET" if self.met else "VIOLATED"
+        return (
+            f"critical path {self.critical_path.delay * 1e9:.3f} ns "
+            f"(fmax {self.max_frequency / 1e6:.1f} MHz); "
+            f"target {self.clock_period * 1e9:.2f} ns -> slack "
+            f"{self.slack * 1e9:+.3f} ns [{status}]\n"
+            f"  {self.critical_path.format()}"
+        )
+
+
+def analyze_timing(netlist: Netlist, clock_period: float) -> TimingReport:
+    """Run STA over the whole netlist against *clock_period* [s].
+
+    Timing endpoints are flip-flop D pins and primary outputs; start
+    points are flip-flop Q pins and primary inputs (arrival 0).  Setup
+    and clock-to-Q are folded into the cells' intrinsic delays.
+    """
+    if clock_period <= 0:
+        raise SimulationError(f"clock period must be positive, got {clock_period}")
+    levels = netlist.levelize()
+    order = sorted(levels, key=lambda n: levels[n])
+
+    # Arrival time and predecessor per *net*.
+    arrival: dict[str, float] = {}
+    pred: dict[str, str | None] = {}
+    for name, net in netlist.nets.items():
+        if net.driver == INPUT_DRIVER:
+            arrival[name] = 0.0
+            pred[name] = None
+        elif net.driver is not None:
+            drv = netlist.instances[net.driver]
+            if drv.cell.kind in (CellKind.SEQUENTIAL, CellKind.TIE):
+                arrival[name] = 0.0
+                pred[name] = None
+
+    inst_arrival: dict[str, float] = {}
+    for inst_name in order:
+        inst = netlist.instances[inst_name]
+        worst_in, worst_net = 0.0, None
+        for net in inst.input_nets():
+            t = arrival.get(net, 0.0)
+            if t >= worst_in:
+                worst_in, worst_net = t, net
+        delay = cell_delay(netlist, inst_name)
+        t_out = worst_in + delay
+        inst_arrival[inst_name] = t_out
+        out = inst.output_net
+        arrival[out] = t_out
+        pred[out] = worst_net
+
+    # Worst endpoint: max arrival at any flop D pin or primary output.
+    worst_time, worst_endpoint = 0.0, None
+    for inst in netlist.sequential_instances():
+        t = arrival.get(inst.pins["D"], 0.0)
+        if t >= worst_time:
+            worst_time, worst_endpoint = t, inst.pins["D"]
+    for out in netlist.outputs:
+        t = arrival.get(out, 0.0)
+        if t >= worst_time:
+            worst_time, worst_endpoint = t, out
+
+    # Trace the critical path back through predecessors.
+    path: list[str] = []
+    net = worst_endpoint
+    while net is not None:
+        drv = netlist.nets[net].driver
+        if drv is None or drv == INPUT_DRIVER:
+            break
+        inst = netlist.instances[drv]
+        path.append(drv)
+        if inst.cell.kind in (CellKind.SEQUENTIAL, CellKind.TIE):
+            break
+        net = pred.get(net)
+    path.reverse()
+
+    worst_time = max(worst_time, INTRINSIC_DELAY)
+    return TimingReport(
+        critical_path=TimingPath(instances=path, delay=worst_time),
+        max_frequency=1.0 / worst_time,
+        clock_period=clock_period,
+        slack=clock_period - worst_time,
+        arrival_times=inst_arrival,
+    )

@@ -1,0 +1,123 @@
+"""Trojan 3 — CDMA-channel key leaker (paper Section IV-A).
+
+"Trojan 3 leaks the secret information through a Code Division Multiple
+Access (CDMA) channel which utilizes multiple clock cycles to leak a
+single bit.  A pseudo-random number generator is used to provide a CDMA
+sequence for the exclusive OR operation on the secret information."
+
+Structure:
+
+* a 16-bit maximal-length LFSR generates the spreading sequence;
+* each key bit is XOR-spread over :data:`CHIPS_PER_BIT` chips;
+* the chip stream drives a tiny output stage (a few buffers).
+
+This is the paper's smallest Trojan (0.76 % of the AES) and, exactly as
+in the paper, the hardest to detect: its Euclidean distance barely
+clears the reference spread and its spectrum is pseudo-noise — spread
+*below* the clock line rather than concentrated at a new spot.
+
+Despreading the chip stream with the same LFSR sequence recovers the
+key (majority vote per bit), which the tests use to prove the leak is
+real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes_circuit import AesCircuit
+from repro.logic.builder import NetlistBuilder
+from repro.trojans.base import (
+    AnalogTap,
+    HardwareTrojan,
+    TapMode,
+    TrojanKind,
+    attach_activation,
+)
+from repro.units import FF, V
+
+#: Chips (clock cycles) per leaked key bit.
+CHIPS_PER_BIT = 32
+
+#: LFSR taps (0 = MSB, 15 = oldest stage) for a maximal 16-bit
+#: sequence (x^16 + x^14 + x^13 + x^11 + 1).  The recurrence is
+#: b[t] = b[t-16] ^ b[t-14] ^ b[t-13] ^ b[t-11], i.e. stage indices
+#: 15, 13, 12 and 10.
+LFSR_TAPS = (10, 12, 13, 15)
+
+#: LFSR width.
+LFSR_WIDTH = 16
+
+
+@dataclass(frozen=True)
+class Trojan3Params:
+    """Size/trigger knobs for Trojan 3."""
+
+    #: Output-stage buffer count (small by design).
+    n_drivers: int = 4
+    #: Capacitance of the covert-channel output wire the chip stream
+    #: drives [F] — small compared with T1's antenna, as befits the
+    #: paper's hardest-to-detect Trojan.
+    output_wire_cap: float = 110 * FF
+    #: LFSR seed (non-zero).
+    seed: int = 0xACE1
+    match_byte: int = 8
+    match_value: int = 0x5AF20D93
+
+
+def attach_trojan3(
+    b: NetlistBuilder,
+    aes: AesCircuit,
+    params: Trojan3Params | None = None,
+) -> HardwareTrojan:
+    """Attach Trojan 3 to the shared die netlist."""
+    params = params or Trojan3Params()
+    group = "trojan3"
+    with b.in_group(group):
+        match_bus = aes.state_q[8 * params.match_byte : 8 * params.match_byte + 32]
+        enable_pin, active = attach_activation(
+            b, group, match_bus, params.match_value
+        )
+
+        # Spreading PRNG: clock-gated by `active` so the dormant Trojan
+        # draws nothing.
+        prn_state = [b.net("lfsr_q") for _ in range(LFSR_WIDTH)]
+        feedback = b.xor_tree([prn_state[t] for t in LFSR_TAPS])
+        d_bus = [feedback] + prn_state[:-1]
+        for i, (q, d) in enumerate(zip(prn_state, d_bus)):
+            init = (params.seed >> (LFSR_WIDTH - 1 - i)) & 1
+            b.flop_into(d, q, enable=active, init=init)
+        prn_bit = prn_state[0]
+
+        chip_cnt = b.counter(5, enable=active)
+        wrap = b.equals_const(chip_cnt, CHIPS_PER_BIT - 1)
+        bit_en = b.and2(active, wrap)
+        bit_index = b.counter(7, enable=bit_en)
+        key_bit = b.mux_tree(aes.key, bit_index)
+
+        chip = b.xor2(prn_bit, key_bit)
+        chip_q = b.dff(chip, enable=active)
+        for _ in range(params.n_drivers):
+            b.buf(chip_q)
+
+    # The covert-channel output wire radiates the (pseudo-noise) chip
+    # stream; the charge is modest, which is why T3 stays the hardest
+    # Trojan to spot in both paper and reproduction.
+    tap = AnalogTap(
+        net=chip_q,
+        mode=TapMode.PULSE_ON_RISE,
+        amplitude=params.output_wire_cap * 1.8 * V,
+        gate_by=active,
+        group=group,
+    )
+    return HardwareTrojan(
+        name="trojan3",
+        group=group,
+        kind=TrojanKind.DIGITAL,
+        enable_pin=enable_pin,
+        active_net=active,
+        description="CDMA key leaker spread by a 16-bit LFSR",
+        monitor_nets={"chip": chip_q, "prn": prn_bit, "key_bit": key_bit},
+        monitor_buses={"bit_index": bit_index, "lfsr": prn_state},
+        analog_taps=[tap],
+    )

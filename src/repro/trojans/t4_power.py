@@ -1,0 +1,74 @@
+"""Trojan 4 — performance-degradation Trojan (paper Section IV-A).
+
+"Trojan 4 causes performance degradation of the circuit.  It increases
+the power consumption by introducing more flipping registers after
+activation."
+
+Structure: a large bank of toggle flops (DFFE + feedback inverter) that
+all flip on every clock cycle once the Trojan is armed.  Dormant, the
+bank is clock-gated and invisible; active, it adds a broadband current
+comparable to a sizeable fraction of the AES itself — which is why the
+paper sees the largest Euclidean distance (0.28) and the strongest
+spectral lift for this Trojan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes_circuit import AesCircuit
+from repro.errors import TrojanError
+from repro.logic.builder import NetlistBuilder
+from repro.trojans.base import HardwareTrojan, TrojanKind, attach_activation
+
+
+@dataclass(frozen=True)
+class Trojan4Params:
+    """Size/trigger knobs for Trojan 4."""
+
+    #: Toggle-flop count; each costs a DFFE plus an inverter.  The
+    #: default lands near the paper's 8.4 % of the AES gate count.
+    n_toggles: int = 1180
+    match_byte: int = 12
+    match_value: int = 0xC30B64F7
+
+
+def attach_trojan4(
+    b: NetlistBuilder,
+    aes: AesCircuit,
+    params: Trojan4Params | None = None,
+) -> HardwareTrojan:
+    """Attach Trojan 4 to the shared die netlist."""
+    params = params or Trojan4Params()
+    if params.n_toggles <= 0:
+        raise TrojanError(f"n_toggles must be positive, got {params.n_toggles}")
+    group = "trojan4"
+    with b.in_group(group):
+        match_bus = aes.state_q[8 * params.match_byte : 8 * params.match_byte + 32]
+        enable_pin, active = attach_activation(
+            b, group, match_bus, params.match_value
+        )
+        # The bank flips on every other cycle (a phase flop gates the
+        # clock enables), so its current comb sits on 12 MHz-spaced
+        # lines interleaved with the 24 MHz core-clock comb — the
+        # "significant amplitude increase in a number of frequency
+        # spots" of Fig. 6(l).
+        phase_q = b.net("wob_phase")
+        b.flop_into(b.inv(phase_q), phase_q, enable=active)
+        bank_en = b.and2(active, phase_q)
+        first_q: str | None = None
+        for _ in range(params.n_toggles):
+            q = b.net("wob_q")
+            b.flop_into(b.inv(q), q, enable=bank_en)
+            if first_q is None:
+                first_q = q
+    assert first_q is not None
+    return HardwareTrojan(
+        name="trojan4",
+        group=group,
+        kind=TrojanKind.DIGITAL,
+        enable_pin=enable_pin,
+        active_net=active,
+        description="power-wasting bank of flipping registers",
+        monitor_nets={"toggle0": first_q},
+    )

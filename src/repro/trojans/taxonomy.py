@@ -1,0 +1,140 @@
+"""Trojan taxonomy — TrustHub-style classification of the five payloads.
+
+The paper builds its Trojans "modifying benchmarks from TrustHub"; this
+module records each implementation's position in the standard Trojan
+taxonomy (insertion phase, abstraction level, activation mechanism,
+effect, location) so downstream tooling can reason about coverage the
+way the benchmark suite does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class InsertionPhase(enum.Enum):
+    DESIGN = "design"
+    FABRICATION = "fabrication"
+
+
+class AbstractionLevel(enum.Enum):
+    GATE = "gate"
+    TRANSISTOR = "transistor"
+
+
+class Activation(enum.Enum):
+    ALWAYS_ON = "always-on"
+    INTERNALLY_TRIGGERED = "internally-triggered"
+    EXTERNALLY_TRIGGERED = "externally-triggered"
+
+
+class Effect(enum.Enum):
+    LEAK_INFORMATION = "leak-information"
+    DEGRADE_PERFORMANCE = "degrade-performance"
+    CHANGE_FUNCTIONALITY = "change-functionality"
+    DENIAL_OF_SERVICE = "denial-of-service"
+
+
+@dataclass(frozen=True)
+class TrojanProfile:
+    """Taxonomy record of one Trojan implementation."""
+
+    name: str
+    insertion: InsertionPhase
+    abstraction: AbstractionLevel
+    activation: tuple[Activation, ...]
+    effect: Effect
+    channel: str
+    trusthub_family: str
+
+    def summary(self) -> str:
+        acts = "/".join(a.value for a in self.activation)
+        return (
+            f"{self.name}: {self.abstraction.value}-level, "
+            f"{acts}, {self.effect.value} via {self.channel} "
+            f"(TrustHub family {self.trusthub_family})"
+        )
+
+
+#: Registry of the test chip's Trojans.
+PROFILES: dict[str, TrojanProfile] = {
+    "trojan1": TrojanProfile(
+        name="trojan1",
+        insertion=InsertionPhase.DESIGN,
+        abstraction=AbstractionLevel.GATE,
+        activation=(
+            Activation.INTERNALLY_TRIGGERED,
+            Activation.EXTERNALLY_TRIGGERED,
+        ),
+        effect=Effect.LEAK_INFORMATION,
+        channel="AM radio carrier @ 750 kHz",
+        trusthub_family="AES-T1800 (RF leaker)",
+    ),
+    "trojan2": TrojanProfile(
+        name="trojan2",
+        insertion=InsertionPhase.DESIGN,
+        abstraction=AbstractionLevel.GATE,
+        activation=(
+            Activation.INTERNALLY_TRIGGERED,
+            Activation.EXTERNALLY_TRIGGERED,
+        ),
+        effect=Effect.LEAK_INFORMATION,
+        channel="conditional leakage current",
+        trusthub_family="AES-T1600 (leakage leaker)",
+    ),
+    "trojan3": TrojanProfile(
+        name="trojan3",
+        insertion=InsertionPhase.DESIGN,
+        abstraction=AbstractionLevel.GATE,
+        activation=(
+            Activation.INTERNALLY_TRIGGERED,
+            Activation.EXTERNALLY_TRIGGERED,
+        ),
+        effect=Effect.LEAK_INFORMATION,
+        channel="CDMA-spread covert channel",
+        trusthub_family="AES-T1100 (CDMA leaker)",
+    ),
+    "trojan4": TrojanProfile(
+        name="trojan4",
+        insertion=InsertionPhase.DESIGN,
+        abstraction=AbstractionLevel.GATE,
+        activation=(
+            Activation.INTERNALLY_TRIGGERED,
+            Activation.EXTERNALLY_TRIGGERED,
+        ),
+        effect=Effect.DEGRADE_PERFORMANCE,
+        channel="supply current (register bank)",
+        trusthub_family="AES-T500 (power waster)",
+    ),
+    "a2": TrojanProfile(
+        name="a2",
+        insertion=InsertionPhase.FABRICATION,
+        abstraction=AbstractionLevel.TRANSISTOR,
+        activation=(Activation.EXTERNALLY_TRIGGERED,),
+        effect=Effect.CHANGE_FUNCTIONALITY,
+        channel="analog charge pump on a clock-division wire",
+        trusthub_family="A2 (Yang et al., S&P'16)",
+    ),
+}
+
+
+def profile(name: str) -> TrojanProfile:
+    """Look up a Trojan's taxonomy record.
+
+    Raises
+    ------
+    KeyError
+        If the Trojan is not in the registry.
+    """
+    return PROFILES[name]
+
+
+def by_effect(effect: Effect) -> list[TrojanProfile]:
+    """All registered Trojans with the given payload effect."""
+    return [p for p in PROFILES.values() if p.effect is effect]
+
+
+def coverage_summary() -> str:
+    """Taxonomy coverage of the test chip, one line per Trojan."""
+    return "\n".join(p.summary() for p in PROFILES.values())

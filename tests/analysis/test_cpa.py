@@ -1,0 +1,88 @@
+"""Tests for the CPA attack machinery (unit level; the live-chip attack
+runs in the integration suite)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cpa import (
+    correlation_matrix,
+    cpa_attack,
+    last_round_predictions,
+)
+from repro.crypto.aes import INV_SBOX, SHIFT_ROWS_PERM, expand_key
+from repro.errors import AnalysisError
+
+_HW = np.array([bin(v).count("1") for v in range(256)])
+
+
+def _synthetic_campaign(rng, n=600, key10=None):
+    """Traces that leak exactly the last-round Hamming distances."""
+    key10 = key10 or bytes(range(16))
+    cts = rng.integers(0, 256, (n, 16), dtype=np.uint8)
+    inv = np.asarray(INV_SBOX)
+    traces = np.zeros((n, 24))
+    for j in range(16):
+        r9 = inv[cts[:, j] ^ key10[j]]
+        hd = _HW[r9 ^ cts[:, SHIFT_ROWS_PERM[j]]]
+        traces[:, j + 4] += hd  # one leaky sample per byte
+    traces += 0.5 * rng.normal(size=traces.shape)
+    return traces, cts, key10
+
+
+def test_predictions_shape_and_range(rng):
+    cts = rng.integers(0, 256, (50, 16), dtype=np.uint8)
+    preds = last_round_predictions(cts, 3)
+    assert preds.shape == (256, 50)
+    assert preds.min() >= 0 and preds.max() <= 8
+
+
+def test_predictions_validation(rng):
+    with pytest.raises(AnalysisError):
+        last_round_predictions(np.zeros((4, 15), dtype=np.uint8), 0)
+    with pytest.raises(AnalysisError):
+        last_round_predictions(np.zeros((4, 16), dtype=np.uint8), 16)
+
+
+def test_correlation_matrix_identity(rng):
+    x = rng.normal(size=(100, 5))
+    preds = x[:, 2][None, :].repeat(3, axis=0)
+    corr = correlation_matrix(preds, x)
+    assert corr.shape == (3, 5)
+    assert corr[0, 2] == pytest.approx(1.0)
+    assert abs(corr[0, 0]) < 0.4
+
+
+def test_correlation_shape_mismatch(rng):
+    with pytest.raises(AnalysisError):
+        correlation_matrix(np.zeros((256, 10)), np.zeros((11, 4)))
+
+
+def test_cpa_recovers_key_from_ideal_leakage(rng):
+    traces, cts, key10 = _synthetic_campaign(rng)
+    result = cpa_attack(traces, cts, key10)
+    assert result.recovered_count == 16
+    assert result.mean_rank() == 0.0
+    assert "16/16" in result.format()
+
+
+def test_cpa_fails_without_leakage(rng):
+    cts = rng.integers(0, 256, (400, 16), dtype=np.uint8)
+    traces = rng.normal(size=(400, 24))
+    result = cpa_attack(traces, cts, bytes(range(16)))
+    # Random data: essentially chance-level recovery.
+    assert result.recovered_count <= 2
+    assert result.mean_rank() > 40
+
+
+def test_cpa_sample_window(rng):
+    traces, cts, key10 = _synthetic_campaign(rng)
+    narrow = cpa_attack(traces, cts, key10, sample_window=(4, 20))
+    assert narrow.recovered_count == 16
+    with pytest.raises(AnalysisError):
+        cpa_attack(traces, cts, key10, sample_window=(20, 20))
+
+
+def test_cpa_key_length_validation(rng):
+    traces, cts, _key10 = _synthetic_campaign(rng, n=50)
+    with pytest.raises(AnalysisError):
+        cpa_attack(traces, cts, b"short")

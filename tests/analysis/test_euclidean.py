@@ -1,0 +1,125 @@
+"""Tests for the Eq. (1) Euclidean-distance detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.euclidean import (
+    EuclideanDetector,
+    euclidean_distances,
+    max_intra_distance,
+    normalize_traces,
+    pairwise_max_distance,
+)
+from repro.errors import AnalysisError
+
+
+def _golden(rng, n=100, length=256):
+    base = np.sin(np.linspace(0, 20, length))
+    return base[None, :] + 0.05 * rng.normal(size=(n, length))
+
+
+def test_normalize_traces_unit_norm(rng):
+    x = rng.normal(size=(5, 64)) + 3.0
+    z = normalize_traces(x)
+    assert np.allclose(np.linalg.norm(z, axis=1), 1.0)
+    assert np.allclose(z.mean(axis=1), 0.0, atol=1e-12)
+
+
+def test_normalize_rejects_constant_trace():
+    with pytest.raises(AnalysisError):
+        normalize_traces(np.ones((2, 16)))
+
+
+def test_euclidean_distances_basic():
+    data = np.array([[3.0, 4.0], [0.0, 0.0]])
+    d = euclidean_distances(data, np.zeros(2))
+    assert np.allclose(d, [5.0, 0.0])
+
+
+def test_pairwise_max_distance_matches_bruteforce(rng):
+    x = rng.normal(size=(40, 8))
+    brute = max(
+        np.linalg.norm(a - b) for a in x for b in x
+    )
+    assert pairwise_max_distance(x, chunk=7) == pytest.approx(brute)
+    assert max_intra_distance is pairwise_max_distance
+
+
+def test_pairwise_needs_two_vectors():
+    with pytest.raises(AnalysisError):
+        pairwise_max_distance(np.zeros((1, 4)))
+
+
+def test_detector_golden_statistics(rng):
+    golden = _golden(rng)
+    det = EuclideanDetector().fit(golden)
+    assert det.threshold > 0
+    assert det.separation_floor > 0
+    assert det.golden_distances.shape == (100,)
+    # Golden traces against their own fingerprint: all below Eq. (1).
+    assert det.golden_distances.max() <= det.threshold
+
+
+def test_detector_flags_shifted_population(rng):
+    golden = _golden(rng)
+    det = EuclideanDetector().fit(golden)
+    suspect = _golden(rng) + 0.3 * np.cos(np.linspace(0, 7, 256))[None, :]
+    report = det.evaluate(suspect)
+    assert report.separation > det.separation_floor
+    assert report.detected
+
+
+def test_detector_accepts_golden_lookalike(rng):
+    golden = _golden(rng)
+    det = EuclideanDetector().fit(golden)
+    more_golden = _golden(np.random.default_rng(999))
+    report = det.evaluate(more_golden)
+    assert not report.detected
+
+
+def test_detector_distance_bounded_by_two(rng):
+    golden = _golden(rng)
+    det = EuclideanDetector().fit(golden)
+    adversarial = -_golden(rng)  # anti-correlated traces
+    d = det.distances(adversarial)
+    assert (d <= 2.0 + 1e-9).all()
+
+
+def test_detector_with_pca_denoising(rng):
+    golden = _golden(rng)
+    det = EuclideanDetector(n_components=5).fit(golden)
+    suspect = _golden(rng) + 0.3 * np.cos(np.linspace(0, 7, 256))[None, :]
+    assert det.evaluate(suspect).separation > 0
+
+
+def test_detector_use_before_fit(rng):
+    det = EuclideanDetector()
+    with pytest.raises(AnalysisError):
+        det.distances(np.zeros((2, 8)))
+    with pytest.raises(AnalysisError):
+        det.evaluate(np.zeros((2, 8)))
+
+
+def test_detector_needs_two_golden_traces():
+    with pytest.raises(AnalysisError):
+        EuclideanDetector().fit(np.zeros((1, 8)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.floats(min_value=1e-3, max_value=1e3))
+def test_distances_invariant_to_trace_scale(scale):
+    rng = np.random.default_rng(5)
+    golden = _golden(rng)
+    det = EuclideanDetector().fit(golden)
+    suspect = _golden(rng)
+    d1 = det.distances(suspect)
+    d2 = det.distances(scale * suspect)
+    assert np.allclose(d1, d2)
+
+
+def test_separation_is_mean_shift(rng):
+    golden = _golden(rng)
+    det = EuclideanDetector().fit(golden)
+    # Separation of the golden set itself is essentially zero.
+    assert det.separation(golden) < 1e-9

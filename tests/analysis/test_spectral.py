@@ -1,0 +1,112 @@
+"""Tests for FFT spectral analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectral import (
+    amplitude_spectrum,
+    band_energy,
+    compare_spectra,
+    find_peaks_above,
+)
+from repro.errors import AnalysisError
+
+FS = 1e9
+
+
+def _tone(freq, amp=1.0, n=16384, fs=FS):
+    t = np.arange(n) / fs
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+def test_single_tone_peak_location_and_amplitude():
+    spec = amplitude_spectrum(_tone(50e6, amp=2.0), FS)
+    peak_idx = int(np.argmax(spec.amplitude))
+    assert spec.freqs[peak_idx] == pytest.approx(50e6, rel=0.01)
+    assert spec.amplitude[peak_idx] == pytest.approx(2.0, rel=0.05)
+
+
+def test_magnitude_at_tolerates_bin_offset():
+    spec = amplitude_spectrum(_tone(50.01e6), FS)
+    assert spec.magnitude_at(50e6, tolerance=0.1e6) == pytest.approx(1.0, rel=0.1)
+
+
+def test_magnitude_at_empty_window_raises():
+    spec = amplitude_spectrum(_tone(50e6), FS)
+    with pytest.raises(AnalysisError):
+        spec.magnitude_at(50e6, tolerance=0.0)
+
+
+def test_band_restriction():
+    spec = amplitude_spectrum(_tone(50e6) + _tone(200e6), FS)
+    low = spec.band(1e6, 100e6)
+    assert low.freqs.max() <= 100e6
+    assert low.amplitude.max() == pytest.approx(1.0, rel=0.1)
+    with pytest.raises(AnalysisError):
+        spec.band(10e6, 10e6)
+
+
+def test_band_energy_captures_tone():
+    spec = amplitude_spectrum(_tone(50e6, amp=3.0), FS)
+    inside = band_energy(spec, 40e6, 60e6)
+    outside = band_energy(spec, 100e6, 200e6)
+    assert inside > 100 * outside
+
+
+def test_batch_averaging_reduces_noise_floor(rng):
+    tone = _tone(50e6, amp=0.1)
+    noisy = tone[None, :] + rng.normal(0, 1.0, size=(16, tone.size))
+    avg = amplitude_spectrum(noisy, FS, average=True)
+    single = amplitude_spectrum(noisy[0], FS)
+    # Averaged floor is smoother: its variance drops.
+    floor_avg = np.std(avg.amplitude[avg.freqs > 300e6])
+    floor_one = np.std(single.amplitude[single.freqs > 300e6])
+    assert floor_avg < floor_one
+
+
+def test_find_peaks_above_detects_tones():
+    sig = _tone(50e6, amp=1.0) + _tone(150e6, amp=0.5)
+    spec = amplitude_spectrum(sig, FS)
+    peaks = find_peaks_above(spec, floor_factor=10)
+    freqs = [round(f / 1e6) for f, _ in peaks[:2]]
+    assert 50 in freqs and 150 in freqs
+    # Sorted strongest first.
+    assert peaks[0][1] >= peaks[1][1]
+
+
+def test_compare_spectra_flags_boost_and_new():
+    golden = amplitude_spectrum(_tone(50e6, amp=1.0), FS)
+    suspect = amplitude_spectrum(
+        _tone(50e6, amp=2.5) + _tone(120e6, amp=0.8), FS
+    )
+    cmpres = compare_spectra(golden, suspect, boost_ratio=1.5)
+    boosted_freqs = [round(f / 1e6) for f, _g, _s in cmpres.boosted_spots]
+    new_freqs = [round(f / 1e6) for f, _a in cmpres.new_spots]
+    assert 50 in boosted_freqs
+    assert 120 in new_freqs
+    assert cmpres.detected
+
+
+def test_compare_spectra_identical_is_clean():
+    golden = amplitude_spectrum(_tone(50e6), FS)
+    cmpres = compare_spectra(golden, golden, boost_ratio=1.2)
+    assert not cmpres.detected
+
+
+def test_compare_spectra_requires_same_grid():
+    a = amplitude_spectrum(_tone(50e6, n=8192), FS)
+    b = amplitude_spectrum(_tone(50e6, n=16384), FS)
+    with pytest.raises(AnalysisError):
+        compare_spectra(a, b)
+
+
+def test_amplitude_spectrum_validation():
+    with pytest.raises(AnalysisError):
+        amplitude_spectrum(np.zeros(4), FS)
+    with pytest.raises(AnalysisError):
+        amplitude_spectrum(_tone(1e6), FS, window="flat-top")
+
+
+def test_rect_window_supported():
+    spec = amplitude_spectrum(_tone(50e6), FS, window="rect")
+    assert spec.amplitude.max() == pytest.approx(1.0, rel=0.1)

@@ -1,0 +1,60 @@
+"""Tests for the spectrogram and activation-time detector."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrogram import (
+    Spectrogram,
+    detect_activation_time,
+    spectrogram,
+)
+from repro.errors import AnalysisError
+
+FS = 100e6
+
+
+def _burst_record(rng, f_tone=5e6, start_frac=0.6, n=262144):
+    t = np.arange(n) / FS
+    x = 0.02 * rng.normal(size=n)
+    start = int(start_frac * n)
+    x[start:] += np.sin(2 * np.pi * f_tone * t[start:])
+    return x, start / FS
+
+
+def test_spectrogram_shapes(rng):
+    x, _t0 = _burst_record(rng)
+    spec = spectrogram(x, FS, window_samples=4096)
+    assert spec.magnitude.shape == (spec.freqs.size, spec.times.size)
+    assert spec.times[0] < spec.times[-1]
+    assert spec.freqs.max() == pytest.approx(FS / 2)
+
+
+def test_tone_appears_in_right_band(rng):
+    x, t0 = _burst_record(rng)
+    spec = spectrogram(x, FS)
+    in_band = spec.band_track(4.5e6, 5.5e6)
+    out_band = spec.band_track(20e6, 25e6)
+    late = spec.times > t0 + 1e-4
+    assert in_band[late].mean() > 20 * out_band[late].mean()
+
+
+def test_activation_time_detected(rng):
+    x, t0 = _burst_record(rng)
+    detected = detect_activation_time(x, FS, band=(4.5e6, 5.5e6))
+    assert detected is not None
+    assert detected == pytest.approx(t0, abs=1.5e-4)
+
+
+def test_no_activation_returns_none(rng):
+    x = 0.02 * rng.normal(size=131072)
+    assert detect_activation_time(x, FS, band=(4.5e6, 5.5e6)) is None
+
+
+def test_validation(rng):
+    with pytest.raises(AnalysisError):
+        spectrogram(np.zeros(100), FS, window_samples=4096)
+    with pytest.raises(AnalysisError):
+        spectrogram(np.zeros(10000), FS, window_samples=8)
+    spec = spectrogram(0.01 * rng.normal(size=65536), FS)
+    with pytest.raises(AnalysisError):
+        spec.band_track(1e9, 2e9)

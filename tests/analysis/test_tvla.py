@@ -1,0 +1,76 @@
+"""Tests for the TVLA Welch t-test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tvla import (
+    TVLA_THRESHOLD,
+    fixed_vs_random_split,
+    welch_t_test,
+)
+from repro.errors import AnalysisError
+
+
+def test_identical_populations_pass(rng):
+    a = rng.normal(size=(500, 40))
+    b = rng.normal(size=(500, 40))
+    result = welch_t_test(a, b)
+    assert not result.leaks
+    assert result.max_abs_t < TVLA_THRESHOLD
+    assert "passes" in result.format()
+
+
+def test_mean_shift_detected(rng):
+    a = rng.normal(size=(500, 40))
+    b = rng.normal(size=(500, 40))
+    b[:, 7] += 1.0
+    result = welch_t_test(a, b)
+    assert result.leaks
+    assert result.leaky_samples >= 1
+    assert int(np.argmax(np.abs(result.t_values))) == 7
+    assert "LEAKS" in result.format()
+
+
+def test_t_statistic_magnitude(rng):
+    """t ~ shift / sqrt(2/n) for equal-size unit-variance groups."""
+    n = 2000
+    a = rng.normal(size=(n, 1))
+    b = rng.normal(size=(n, 1)) + 0.5
+    result = welch_t_test(a, b)
+    expected = 0.5 / np.sqrt(2.0 / n)
+    assert abs(result.t_values[0]) == pytest.approx(expected, rel=0.2)
+
+
+def test_unequal_population_sizes_ok(rng):
+    a = rng.normal(size=(100, 10))
+    b = rng.normal(size=(400, 10))
+    assert not welch_t_test(a, b).leaks
+
+
+def test_validation(rng):
+    with pytest.raises(AnalysisError):
+        welch_t_test(rng.normal(size=(10, 5)), rng.normal(size=(10, 6)))
+    with pytest.raises(AnalysisError):
+        welch_t_test(rng.normal(size=(1, 5)), rng.normal(size=(10, 5)))
+
+
+def test_constant_sample_does_not_crash(rng):
+    a = np.zeros((50, 3))
+    b = np.zeros((50, 3))
+    result = welch_t_test(a, b)
+    assert not result.leaks
+
+
+def test_fixed_vs_random_split(rng):
+    fixed = bytes(range(16))
+    pts = rng.integers(0, 256, (50, 16), dtype=np.uint8)
+    pts[::5] = np.frombuffer(fixed, np.uint8)
+    fixed_idx, random_idx = fixed_vs_random_split(pts, fixed)
+    assert len(fixed_idx) == 10
+    assert len(fixed_idx) + len(random_idx) == 50
+    assert (pts[fixed_idx] == np.frombuffer(fixed, np.uint8)).all()
+
+
+def test_split_validation(rng):
+    with pytest.raises(AnalysisError):
+        fixed_vs_random_split(np.zeros((5, 15), dtype=np.uint8), bytes(16))

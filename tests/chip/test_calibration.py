@@ -1,0 +1,81 @@
+"""Tests for the SNR-anchored noise calibration."""
+
+import pytest
+
+from repro.chip import AcquisitionEngine, EncryptionWorkload, IdleWorkload
+from repro.chip.calibration import PAPER_SNR_TARGETS, calibrate_scenario
+from repro.chip.scenario import Scenario
+from repro.em.noise import EnvironmentNoise
+from repro.em.snr import measure_snr
+from repro.errors import MeasurementError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def test_calibrated_scenario_has_overrides(chip, sim_scenario):
+    assert sim_scenario.noise_overrides is not None
+    names = {name for name, _ in sim_scenario.noise_overrides}
+    assert names == {"sensor", "probe"}
+    for _name, rms in sim_scenario.noise_overrides:
+        assert rms > 0
+
+
+def test_calibration_hits_paper_targets(chip, sim_scenario):
+    engine = AcquisitionEngine(chip, sim_scenario)
+    sig = engine.acquire(
+        EncryptionWorkload(chip.aes, KEY, period=12),
+        n_cycles=512,
+        batch=8,
+        rng_role="caltest/sig",
+    )
+    noi = engine.acquire(
+        IdleWorkload(), n_cycles=512, batch=8, rng_role="caltest/noise"
+    )
+    targets = PAPER_SNR_TARGETS["simulation"]
+    for name, target in targets.items():
+        got = measure_snr(sig.traces[name], noi.traces[name]).snr_db
+        assert got == pytest.approx(target, abs=1.5), name
+
+
+def test_silicon_gap_wider_than_simulation(chip, sim_scenario, sil_scenario):
+    """The paper's asymmetry: silicon hurts the probe, not the sensor."""
+
+    def gap(scenario):
+        engine = AcquisitionEngine(chip, scenario)
+        sig = engine.acquire(
+            EncryptionWorkload(chip.aes, KEY, period=12),
+            n_cycles=256,
+            batch=4,
+            rng_role="gap/sig",
+        )
+        noi = engine.acquire(
+            IdleWorkload(), n_cycles=256, batch=4, rng_role="gap/noise"
+        )
+        s = measure_snr(sig.traces["sensor"], noi.traces["sensor"]).snr_db
+        p = measure_snr(sig.traces["probe"], noi.traces["probe"]).snr_db
+        return s - p
+
+    assert gap(sil_scenario) > gap(sim_scenario)
+
+
+def test_unknown_scenario_needs_explicit_targets(chip):
+    weird = Scenario(name="moonbase", env_noise=EnvironmentNoise(0.01))
+    with pytest.raises(MeasurementError):
+        calibrate_scenario(chip, weird)
+    cal = calibrate_scenario(
+        chip, weird, targets={"sensor": 20.0}, n_cycles=128, batch=2
+    )
+    assert cal.noise_override_for("sensor") is not None
+
+
+def test_unknown_receiver_target_rejected(chip):
+    from repro.chip.scenario import simulation_scenario
+
+    with pytest.raises(MeasurementError):
+        calibrate_scenario(
+            chip,
+            simulation_scenario(),
+            targets={"antenna": 10.0},
+            n_cycles=64,
+            batch=2,
+        )

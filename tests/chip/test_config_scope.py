@@ -1,0 +1,112 @@
+"""Tests for chip configuration and the oscilloscope model."""
+
+import numpy as np
+import pytest
+
+from repro.chip.config import ChipConfig
+from repro.chip.oscilloscope import Oscilloscope
+from repro.chip.scenario import (
+    Scenario,
+    silicon_scenario,
+    simulation_scenario,
+)
+from repro.em.noise import EnvironmentNoise
+from repro.errors import MeasurementError
+
+
+def test_config_samples_per_cycle():
+    cfg = ChipConfig()
+    assert cfg.samples_per_cycle == 100
+    assert cfg.t_clk == pytest.approx(1 / 24e6)
+
+
+def test_config_rejects_non_integer_ratio():
+    cfg = ChipConfig(fs=2.5e9)
+    with pytest.raises(ValueError):
+        _ = cfg.samples_per_cycle
+
+
+def test_trojan1_carrier_is_750khz():
+    cfg = ChipConfig()
+    assert cfg.f_clk / 32 == pytest.approx(750e3)
+
+
+def test_scope_bandwidth_attenuates_high_frequency(rng):
+    scope = Oscilloscope(bandwidth=100e6, bits=16, jitter_rms_samples=0)
+    fs = 2.4e9
+    t = np.arange(8192) / fs
+    low = np.sin(2 * np.pi * 10e6 * t)[None, :]
+    high = np.sin(2 * np.pi * 900e6 * t)[None, :]
+    low_out = scope.digitize(low, fs, rng)
+    high_out = scope.digitize(high, fs, rng)
+    assert np.abs(high_out[0, 2000:]).max() < 0.3 * np.abs(low_out[0, 2000:]).max()
+
+
+def test_scope_quantization_step(rng):
+    scope = Oscilloscope(bandwidth=2e9, bits=4, jitter_rms_samples=0, headroom=1.0)
+    x = np.linspace(-1, 1, 1000)[None, :]
+    y = scope.digitize(x, 2.4e9, rng, full_scale=1.0)
+    levels = np.unique(y)
+    assert len(levels) <= 2**4 + 1
+    # Quantisation error bounded by half an LSB.
+    lsb = 2.0 / 2**4
+    assert np.abs(y - x).max() <= lsb / 2 + 1e-12
+
+
+def test_scope_jitter_rolls_traces(rng):
+    scope = Oscilloscope(bandwidth=2e9, bits=16, jitter_rms_samples=3.0)
+    x = np.zeros((8, 256))
+    x[:, 128] = 1.0
+    y = scope.digitize(x, 2.4e9, rng, full_scale=2.0)
+    peaks = np.argmax(np.abs(y), axis=1)
+    assert len(set(int(p) for p in peaks)) > 1
+
+
+def test_scope_validation(rng):
+    scope = Oscilloscope()
+    with pytest.raises(MeasurementError):
+        scope.digitize(np.zeros(16), 2.4e9, rng)
+    with pytest.raises(MeasurementError):
+        scope.digitize(np.zeros((1, 16)), -1, rng)
+    with pytest.raises(MeasurementError):
+        scope.digitize(np.ones((1, 16)), 2.4e9, rng, full_scale=-1)
+
+
+def test_scope_zero_signal_passthrough(rng):
+    scope = Oscilloscope(jitter_rms_samples=0)
+    out = scope.digitize(np.zeros((2, 64)), 2.4e9, rng)
+    assert not out.any()
+
+
+def test_scenarios_have_expected_structure():
+    sim = simulation_scenario()
+    sil = silicon_scenario()
+    assert sim.process_sigma == 0.0
+    assert sil.process_sigma > 0
+    assert sil.probe_attenuation < 1.0
+    assert sil.oscilloscope is not None
+    assert sim.oscilloscope is None
+
+
+def test_scenario_noise_override_lookup():
+    s = Scenario(
+        name="x",
+        env_noise=EnvironmentNoise(0.0),
+        noise_overrides=(("sensor", 1e-6),),
+    )
+    assert s.noise_override_for("sensor") == 1e-6
+    assert s.noise_override_for("probe") is None
+
+
+def test_process_scale_reproducible():
+    sil = silicon_scenario(seed=5)
+    a = sil.cell_charge_scale(100, chip_seed=1)
+    b = sil.cell_charge_scale(100, chip_seed=1)
+    c = sil.cell_charge_scale(100, chip_seed=2)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+    assert (a > 0).all()
+
+
+def test_simulation_scenario_has_no_process_variation():
+    assert simulation_scenario().cell_charge_scale(10, 0) is None

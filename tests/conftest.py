@@ -1,0 +1,44 @@
+"""Shared fixtures.
+
+The full test chip takes a few seconds to assemble (netlist generation
+plus the Neumann coupling integrals), so one instance is shared across
+the whole session; tests must treat it as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chip import Chip, simulation_scenario, silicon_scenario
+from repro.chip.calibration import calibrate_scenario
+
+
+@pytest.fixture(scope="session")
+def chip() -> Chip:
+    """The paper's full test chip: AES + four digital Trojans + A2."""
+    return Chip.build(seed=1)
+
+
+@pytest.fixture(scope="session")
+def golden_chip() -> Chip:
+    """A Trojan-free AES die (the trusted reference design)."""
+    return Chip.build(seed=1, trojans=())
+
+
+@pytest.fixture(scope="session")
+def sim_scenario(chip):
+    """SNR-calibrated simulation scenario for the shared chip."""
+    return calibrate_scenario(chip, simulation_scenario())
+
+
+@pytest.fixture(scope="session")
+def sil_scenario(chip):
+    """SNR-calibrated silicon scenario for the shared chip."""
+    return calibrate_scenario(chip, silicon_scenario())
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

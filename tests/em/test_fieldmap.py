@@ -1,0 +1,77 @@
+"""Tests for surface EM field maps and Trojan localisation."""
+
+import numpy as np
+import pytest
+
+from repro.chip import EncryptionWorkload
+from repro.em.fieldmap import (
+    FieldMap,
+    average_cell_activity,
+    field_map_from_activity,
+)
+from repro.errors import EmModelError
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+def test_fieldmap_render_and_hotspot():
+    xs = np.linspace(0, 1, 8)
+    ys = np.linspace(0, 1, 8)
+    mag = np.zeros((8, 8))
+    mag[2, 5] = 1.0
+    fm = FieldMap(xs=xs, ys=ys, magnitude=mag)
+    hx, hy = fm.hotspot()
+    assert hx == pytest.approx(xs[5])
+    assert hy == pytest.approx(ys[2])
+    art = fm.render(width=8, height=8)
+    assert "@" in art and len(art.splitlines()) == 8
+
+
+def test_fieldmap_region_mean():
+    from repro.layout.geometry import Rect
+
+    xs = np.linspace(0, 1, 10)
+    ys = np.linspace(0, 1, 10)
+    mag = np.outer(np.ones(10), xs)  # grows to the right
+    fm = FieldMap(xs=xs, ys=ys, magnitude=mag)
+    left = fm.region_mean(Rect(0.0, 0.0, 0.4, 1.0))
+    right = fm.region_mean(Rect(0.6, 0.0, 1.0, 1.0))
+    assert right > left
+    with pytest.raises(EmModelError):
+        fm.region_mean(Rect(2.0, 2.0, 3.0, 3.0))
+
+
+def test_average_cell_activity(chip):
+    wl = EncryptionWorkload(chip.aes, KEY, period=12)
+    activity = average_cell_activity(chip, wl, n_cycles=24, batch=2)
+    assert activity.shape == (chip.sim.num_instances,)
+    assert activity.max() <= 1.0 + 1e-12
+    assert activity.mean() > 0.01  # the AES is busy
+
+
+def test_field_map_activity_validation(chip):
+    with pytest.raises(EmModelError):
+        field_map_from_activity(chip, np.ones(3))
+
+
+def test_trojan4_lights_up_its_region(chip):
+    """Location awareness: T4's activation raises the field over its
+    own floorplan region more than anywhere else."""
+    wl = EncryptionWorkload(chip.aes, KEY, period=12)
+    golden_act = average_cell_activity(chip, wl, n_cycles=24, batch=2)
+    wl2 = EncryptionWorkload(chip.aes, KEY, period=12)
+    active_act = average_cell_activity(
+        chip, wl2, n_cycles=24, batch=2, trojan_enables=("trojan4",)
+    )
+    golden = field_map_from_activity(chip, golden_act, grid=24)
+    active = field_map_from_activity(chip, active_act, grid=24)
+    diff = FieldMap(
+        xs=golden.xs,
+        ys=golden.ys,
+        magnitude=np.abs(active.magnitude - golden.magnitude),
+    )
+    t4_rect = chip.floorplan.regions["trojan4"].rect
+    aes_rect = chip.floorplan.regions["aes"].rect
+    assert diff.region_mean(t4_rect) > 3 * diff.region_mean(aes_rect)
+    hx, hy = diff.hotspot()
+    assert t4_rect.contains(hx, hy, tol=30e-6)

@@ -1,0 +1,97 @@
+"""Tests for the noise models and the paper's SNR equations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.em.noise import EnvironmentNoise, thermal_noise_rms, white_noise
+from repro.em.snr import measure_snr, rms, snr_db, snr_voltage
+from repro.errors import AnalysisError, EmModelError
+
+
+def test_environment_noise_scales_with_area():
+    env = EnvironmentNoise(b_dot_rms=0.1)
+    assert env.emf_rms(2e-6) == pytest.approx(2 * env.emf_rms(1e-6))
+
+
+def test_environment_noise_scaled_copy():
+    env = EnvironmentNoise(0.2)
+    assert env.scaled(0.5).b_dot_rms == pytest.approx(0.1)
+
+
+def test_environment_noise_validation():
+    with pytest.raises(EmModelError):
+        EnvironmentNoise(-1.0)
+    with pytest.raises(EmModelError):
+        EnvironmentNoise(1.0).emf_rms(-1e-6)
+
+
+def test_thermal_noise_formula():
+    # 1 kOhm over 1 MHz at 300 K -> ~4.07 uV.
+    assert thermal_noise_rms(1e3, 1e6) == pytest.approx(4.07e-6, rel=0.01)
+
+
+def test_thermal_noise_validation():
+    with pytest.raises(EmModelError):
+        thermal_noise_rms(-1, 1e6)
+
+
+def test_white_noise_statistics(rng):
+    x = white_noise(rng, (4, 100_000), 2e-6)
+    assert x.shape == (4, 100_000)
+    assert rms(x) == pytest.approx(2e-6, rel=0.02)
+    assert abs(x.mean()) < 1e-7
+
+
+def test_white_noise_zero_rms(rng):
+    assert not white_noise(rng, (3,), 0.0).any()
+    with pytest.raises(EmModelError):
+        white_noise(rng, (3,), -1.0)
+
+
+def test_rms_known_values():
+    assert rms(np.array([3.0, -3.0])) == pytest.approx(3.0)
+    assert rms(np.array([[1.0, 1.0], [7.0, 7.0]]), axis=1) == pytest.approx(
+        [1.0, 7.0]
+    )
+
+
+def test_snr_equations_match_paper_form():
+    # Eq. (2) then Eq. (3): ratio 10 -> 20 dB.
+    assert snr_voltage(1e-3, 1e-4) == pytest.approx(10.0)
+    assert snr_db(1e-3, 1e-4) == pytest.approx(20.0)
+
+
+def test_snr_validation():
+    with pytest.raises(AnalysisError):
+        snr_voltage(1.0, 0.0)
+    with pytest.raises(AnalysisError):
+        snr_voltage(-1.0, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=1e-7, max_value=1e-2), st.floats(min_value=1e-7, max_value=1e-2))
+def test_snr_db_is_monotone_in_ratio(sig, noise):
+    base = snr_db(sig, noise)
+    assert snr_db(2 * sig, noise) > base
+    assert snr_db(sig, 2 * noise) < base
+
+
+def test_measure_snr_recovers_known_ratio(rng):
+    noise = rng.normal(0, 1e-6, size=200_000)
+    signal = rng.normal(0, 1e-5, size=200_000)
+    result = measure_snr(signal, noise)
+    assert result.snr_db == pytest.approx(20.0, abs=0.3)
+    assert result.signal_rms == pytest.approx(1e-5, rel=0.02)
+
+
+def test_measure_snr_subtracts_dc(rng):
+    noise = rng.normal(0, 1e-6, size=100_000) + 5.0
+    signal = rng.normal(0, 1e-5, size=100_000) - 3.0
+    result = measure_snr(signal, noise)
+    assert result.snr_db == pytest.approx(20.0, abs=0.5)
+
+
+def test_measure_snr_rejects_empty():
+    with pytest.raises(AnalysisError):
+        measure_snr(np.array([]), np.array([1.0]))

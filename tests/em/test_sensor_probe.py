@@ -1,0 +1,107 @@
+"""Tests for the on-chip sensor and external probe models."""
+
+import numpy as np
+import pytest
+
+from repro.em.probe import ExternalProbe
+from repro.em.sensor import OnChipSensor
+from repro.errors import EmModelError, TechnologyError
+from repro.layout.geometry import Rect
+from repro.layout.technology import make_tech180
+from repro.units import MM, UM
+
+
+@pytest.fixture(scope="module")
+def die():
+    return Rect(0, 0, 800 * UM, 800 * UM)
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech180()
+
+
+def test_sensor_design_basics(die, tech):
+    sensor = OnChipSensor.design(die, tech, turns=10)
+    assert sensor.turns == 10
+    assert sensor.layer_name == tech.sensor_layer
+    # Coil stays on the top metal plane.
+    assert np.allclose(sensor.polyline[:, 2], tech.layer("M6").z)
+    # Coil covers the die but stays inside it.
+    half = 0.5 * min(die.width, die.height)
+    extent = np.abs(sensor.polyline[:, :2] - np.array(die.center)).max()
+    assert extent <= half
+    assert extent >= 0.9 * (half - 10 * UM)
+
+
+def test_sensor_min_width_rule_enforced(die, tech):
+    with pytest.raises(TechnologyError):
+        OnChipSensor.design(die, tech, trace_width=0.1 * UM)
+
+
+def test_sensor_too_many_turns_rejected(die, tech):
+    with pytest.raises(EmModelError):
+        OnChipSensor.design(die, tech, turns=200, trace_width=4 * UM)
+
+
+def test_sensor_effective_area_scales_with_turns(die, tech):
+    a_small = OnChipSensor.design(die, tech, turns=6).effective_area()
+    a_big = OnChipSensor.design(die, tech, turns=12).effective_area()
+    assert a_big > a_small > 0
+
+
+def test_sensor_resistance_positive_and_scales(die, tech):
+    s_narrow = OnChipSensor.design(die, tech, turns=8, trace_width=2 * UM)
+    s_wide = OnChipSensor.design(die, tech, turns=8, trace_width=4 * UM)
+    assert s_narrow.resistance() > s_wide.resistance() > 0
+
+
+def test_sensor_coupling_vector_shape(die, tech):
+    sensor = OnChipSensor.design(die, tech, turns=6)
+    seg_s = np.array([[100 * UM, 100 * UM, 0.8 * UM]])
+    seg_e = np.array([[200 * UM, 100 * UM, 0.8 * UM]])
+    m = sensor.coupling(seg_s, seg_e)
+    assert m.shape == (1,)
+    assert m[0] != 0.0
+
+
+def test_sensor_describe_mentions_layer(die, tech):
+    text = OnChipSensor.design(die, tech).describe()
+    assert "M6" in text and "turns" in text
+
+
+def test_probe_construction(die, tech):
+    probe = ExternalProbe.langer_rf(die, die_top_z=5 * UM)
+    assert probe.turns == 8
+    zs = [loop[0, 2] for loop in probe.loops]
+    assert min(zs) == pytest.approx(5 * UM + 100 * UM)
+    assert zs == sorted(zs)
+
+
+def test_probe_effective_area(die):
+    probe = ExternalProbe.langer_rf(die, die_top_z=5 * UM, radius=1 * MM, turns=4)
+    assert probe.effective_area() == pytest.approx(4 * np.pi * (1 * MM) ** 2, rel=0.02)
+
+
+def test_probe_coupling_smaller_than_sensor_for_local_source(die, tech):
+    """The locality argument: a single rail segment couples much more
+    strongly to the on-chip coil than to the distant probe."""
+    sensor = OnChipSensor.design(die, tech, turns=12)
+    probe = ExternalProbe.langer_rf(die, die_top_z=5 * UM)
+    seg_s = np.array([[300 * UM, 450 * UM, 0.8 * UM]])
+    seg_e = np.array([[330 * UM, 450 * UM, 0.8 * UM]])
+    m_sensor = abs(sensor.coupling(seg_s, seg_e)[0])
+    m_probe = abs(probe.coupling(seg_s, seg_e)[0])
+    assert m_sensor > 3 * m_probe
+
+
+def test_probe_validation(die):
+    with pytest.raises(EmModelError):
+        ExternalProbe.langer_rf(die, die_top_z=0, turns=0)
+    with pytest.raises(EmModelError):
+        ExternalProbe.langer_rf(die, die_top_z=0, standoff=-1 * UM)
+
+
+def test_probe_describe(die):
+    text = ExternalProbe.langer_rf(die, die_top_z=5 * UM).describe()
+    assert "standoff" in text and "mm" in text

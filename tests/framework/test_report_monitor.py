@@ -1,0 +1,98 @@
+"""Tests for trust reports and the streaming runtime monitor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.euclidean import EuclideanDetector
+from repro.errors import AnalysisError
+from repro.framework.evaluator import EvaluatorConfig, RuntimeTrustEvaluator
+from repro.framework.monitor import RuntimeMonitor
+from repro.framework.report import TrustReport, Verdict, combine_verdicts
+
+
+def test_verdict_combination():
+    assert combine_verdicts(False, False) is Verdict.TRUSTED
+    assert combine_verdicts(True, False) is Verdict.SUSPECT_TIME_DOMAIN
+    assert combine_verdicts(False, True) is Verdict.SUSPECT_SPECTRAL
+    assert combine_verdicts(True, True) is Verdict.SUSPECT_BOTH
+
+
+def test_verdict_alarm_property():
+    assert not Verdict.TRUSTED.is_alarm
+    for v in (
+        Verdict.SUSPECT_TIME_DOMAIN,
+        Verdict.SUSPECT_SPECTRAL,
+        Verdict.SUSPECT_BOTH,
+    ):
+        assert v.is_alarm
+
+
+def test_report_format_mentions_verdict():
+    report = TrustReport(verdict=Verdict.TRUSTED, notes=["all good"])
+    text = report.format()
+    assert "trusted" in text and "all good" in text
+
+
+def _synthetic_evaluator(rng, n=128, length=200):
+    base = np.sin(np.linspace(0, 15, length))
+    golden = base[None, :] + 0.05 * rng.normal(size=(n, length))
+    detector = EuclideanDetector().fit(golden)
+    ev = RuntimeTrustEvaluator.__new__(RuntimeTrustEvaluator)
+    ev.detector = detector
+    ev.golden_spectrum = None
+    ev.fs = 1e9
+    ev.config = EvaluatorConfig()
+    return ev, base
+
+
+def test_monitor_quiet_on_golden_stream(rng):
+    ev, base = _synthetic_evaluator(rng)
+    monitor = RuntimeMonitor(ev, window=16, confirm=2)
+    stream = base[None, :] + 0.05 * rng.normal(size=(200, base.size))
+    events = monitor.observe_stream(stream)
+    assert events == []
+    assert monitor.windows_seen == 200
+
+
+def test_monitor_alarms_on_shifted_stream(rng):
+    ev, base = _synthetic_evaluator(rng)
+    monitor = RuntimeMonitor(ev, window=16, confirm=3)
+    bad = base + 0.4 * np.cos(np.linspace(0, 9, base.size))
+    stream = bad[None, :] + 0.05 * rng.normal(size=(100, base.size))
+    events = monitor.observe_stream(stream)
+    assert events, "expected an alarm"
+    first = events[0]
+    assert first.separation > first.threshold
+    assert "envelope" in first.message
+
+
+def test_monitor_hysteresis_suppresses_single_outlier(rng):
+    ev, base = _synthetic_evaluator(rng)
+    monitor = RuntimeMonitor(ev, window=8, confirm=4)
+    golden_stream = base[None, :] + 0.05 * rng.normal(size=(50, base.size))
+    events = monitor.observe_stream(golden_stream[:30])
+    assert not events
+    # One moderately wild window must not alarm with confirm=4.
+    outlier = base + 0.3 * rng.normal(size=base.size)
+    assert monitor.observe(outlier) is None
+    events = monitor.observe_stream(golden_stream[30:])
+    assert not events
+
+
+def test_monitor_recovers_after_alarm(rng):
+    ev, base = _synthetic_evaluator(rng)
+    monitor = RuntimeMonitor(ev, window=8, confirm=2)
+    bad = base + 0.5 * np.cos(np.linspace(0, 9, base.size))
+    monitor.observe_stream(bad[None, :] + 0.05 * rng.normal(size=(30, base.size)))
+    assert len(monitor.alarms) >= 1
+
+
+def test_monitor_validation(rng):
+    ev, _base = _synthetic_evaluator(rng)
+    with pytest.raises(AnalysisError):
+        RuntimeMonitor(ev, window=1)
+    with pytest.raises(AnalysisError):
+        RuntimeMonitor(ev, confirm=0)
+    monitor = RuntimeMonitor(ev)
+    with pytest.raises(AnalysisError):
+        monitor.current_separation()

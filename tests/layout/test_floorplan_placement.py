@@ -1,0 +1,157 @@
+"""Tests for floorplanning and placement."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.floorplan import plan_floorplan
+from repro.layout.placement import place_netlist
+from repro.layout.technology import make_tech180
+from repro.logic.builder import NetlistBuilder
+
+
+def _die_netlist(n_main=400, n_side=60):
+    b = NetlistBuilder("die", group="aes")
+    a = b.input("a")
+    for _ in range(n_main):
+        b.inv(a)
+    with b.in_group("trojan1"):
+        for _ in range(n_side):
+            b.inv(a)
+    with b.in_group("trojan2"):
+        for _ in range(n_side // 2):
+            b.inv(a)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return make_tech180()
+
+
+def test_floorplan_covers_all_groups(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    assert set(fp.regions) == {"aes", "trojan1", "trojan2"}
+
+
+def test_regions_fit_inside_die_and_disjoint(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    rects = [r.rect for r in fp.regions.values()]
+    for r in rects:
+        assert r.x0 >= -1e-12 and r.y0 >= -1e-12
+        assert r.x1 <= fp.die.x1 + 1e-12 and r.y1 <= fp.die.y1 + 1e-12
+    # Pairwise disjoint (up to shared edges).
+    for i, a in enumerate(rects):
+        for b_ in rects[i + 1 :]:
+            overlap_w = min(a.x1, b_.x1) - max(a.x0, b_.x0)
+            overlap_h = min(a.y1, b_.y1) - max(a.y0, b_.y0)
+            assert min(overlap_w, overlap_h) <= 1e-12
+
+
+def test_die_area_respects_utilization(tech):
+    nl = _die_netlist()
+    total_cells = sum(i.cell.area for i in nl.instances.values())
+    for util in (0.5, 0.8):
+        fp = plan_floorplan(nl, tech, utilization=util)
+        assert fp.die.area >= total_cells / util * 0.95
+
+
+def test_bad_utilization_rejected(tech):
+    nl = _die_netlist()
+    with pytest.raises(LayoutError):
+        plan_floorplan(nl, tech, utilization=0.0)
+    with pytest.raises(LayoutError):
+        plan_floorplan(nl, tech, utilization=1.2)
+
+
+def test_missing_main_group_rejected(tech):
+    nl = _die_netlist()
+    with pytest.raises(LayoutError):
+        plan_floorplan(nl, tech, main_group="cpu")
+
+
+def test_column_order_respected(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech, column_order=["trojan2", "trojan1"])
+    r2 = fp.regions["trojan2"].rect
+    r1 = fp.regions["trojan1"].rect
+    assert r2.y0 >= r1.y1 - 1e-12  # trojan2 stacked above trojan1
+
+
+def test_incomplete_column_order_rejected(tech):
+    nl = _die_netlist()
+    with pytest.raises(LayoutError):
+        plan_floorplan(nl, tech, column_order=["trojan1"])
+
+
+def test_single_group_floorplan(tech):
+    b = NetlistBuilder("solo", group="aes")
+    a = b.input("a")
+    for _ in range(50):
+        b.inv(a)
+    fp = plan_floorplan(b.build(), tech)
+    assert set(fp.regions) == {"aes"}
+    assert fp.regions["aes"].rect.area == fp.die.area
+
+
+def test_placement_puts_cells_in_their_regions(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    pl = place_netlist(nl, fp, seed=3)
+    for inst in nl.instances.values():
+        x, y = pl.positions[inst.name]
+        region = fp.regions[inst.group].rect
+        assert region.contains(x, y, tol=1e-9), inst.name
+
+
+def test_placement_no_overlapping_cells_in_row(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    pl = place_netlist(nl, fp, seed=3)
+    by_row: dict[tuple, list] = {}
+    for inst in nl.instances.values():
+        x, y = pl.positions[inst.name]
+        half = inst.cell.area / tech.row_height / 2
+        by_row.setdefault(round(y, 12), []).append((x - half, x + half))
+    for intervals in by_row.values():
+        intervals.sort()
+        for (a0, a1), (b0, _b1) in zip(intervals, intervals[1:]):
+            assert b0 >= a1 - 1e-12
+
+
+def test_placement_deterministic_per_seed(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    p1 = place_netlist(nl, fp, seed=3).positions
+    p2 = place_netlist(nl, fp, seed=3).positions
+    p3 = place_netlist(nl, fp, seed=4).positions
+    assert p1 == p2
+    assert p1 != p3
+
+
+def test_placement_arrays_alignment(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    pl = place_netlist(nl, fp, seed=0)
+    names = list(nl.instances)
+    xs, ys = pl.arrays_for(names)
+    assert xs.shape == ys.shape == (len(names),)
+    assert (xs[0], ys[0]) == pl.positions[names[0]]
+    with pytest.raises(LayoutError):
+        pl.arrays_for(["ghost"])
+
+
+def test_group_centroid_inside_region(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    pl = place_netlist(nl, fp, seed=0)
+    cx, cy = pl.group_centroid(nl, "trojan1")
+    assert fp.regions["trojan1"].rect.contains(cx, cy)
+
+
+def test_floorplan_summary_mentions_groups(tech):
+    nl = _die_netlist()
+    fp = plan_floorplan(nl, tech)
+    text = fp.summary()
+    assert "die:" in text and "trojan1" in text

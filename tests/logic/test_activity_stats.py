@@ -1,0 +1,131 @@
+"""Tests for activity recorders and netlist statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.logic import (
+    ActivityAccumulator,
+    CompiledNetlist,
+    NetlistBuilder,
+    ToggleCountRecorder,
+    TraceRecorder,
+    netlist_stats,
+)
+from repro.logic.stats import format_table
+
+
+def _counter_sim():
+    b = NetlistBuilder("cnt", group="core")
+    q = b.counter(3)
+    return CompiledNetlist(b.build())
+
+
+def test_toggle_counts_of_counter():
+    sim = _counter_sim()
+    state = sim.reset()
+    rec = ToggleCountRecorder(sim)
+    for _ in range(8):
+        rec.record(sim.step(state))
+    # The LSB flop toggles on every one of the 8 cycles.
+    assert rec.counts.max() == 8
+    assert rec.cycles == 8
+    assert rec.activity_factor().max() == pytest.approx(1.0)
+
+
+def test_toggle_counts_by_group():
+    sim = _counter_sim()
+    state = sim.reset()
+    rec = ToggleCountRecorder(sim)
+    rec.record(sim.step(state))
+    by_group = rec.counts_by_group()
+    assert set(by_group) == {"core"}
+    assert by_group["core"] > 0
+
+
+def test_activity_factor_requires_cycles():
+    sim = _counter_sim()
+    rec = ToggleCountRecorder(sim)
+    with pytest.raises(SimulationError):
+        rec.activity_factor()
+
+
+def test_activity_accumulator_weighted_bins():
+    weights = np.array([1.0, 2.0, 4.0])
+    bins = np.array([0, 1, 1])
+    acc = ActivityAccumulator(weights, bins)
+    toggles = np.array([[1, 0], [1, 1], [0, 1]], dtype=bool)
+    acc.record(toggles)
+    out = acc.result()
+    assert out.shape == (1, 2, 2)
+    # bin0 = w0*t0; bin1 = w1*t1 + w2*t2
+    assert np.allclose(out[0, 0], [1.0, 0.0])
+    assert np.allclose(out[0, 1], [2.0, 6.0])
+
+
+def test_activity_accumulator_accepts_float_matrices():
+    acc = ActivityAccumulator(np.ones(2), np.zeros(2, dtype=int))
+    acc.record(np.array([[0.35, 1.0], [1.0, 0.35]]))
+    assert np.allclose(acc.result()[0, 0], [1.35, 1.35])
+
+
+def test_activity_accumulator_validates_shapes():
+    with pytest.raises(SimulationError):
+        ActivityAccumulator(np.ones(3), np.zeros(2, dtype=int))
+    acc = ActivityAccumulator(np.ones(2), np.zeros(2, dtype=int))
+    with pytest.raises(SimulationError):
+        acc.record(np.zeros((3, 1), dtype=bool))
+    with pytest.raises(SimulationError):
+        acc.result()  # nothing recorded
+
+
+def test_activity_accumulator_clear():
+    acc = ActivityAccumulator(np.ones(1), np.zeros(1, dtype=int))
+    acc.record(np.ones((1, 1), dtype=bool))
+    acc.clear()
+    assert acc.cycles == 0
+
+
+def test_trace_recorder_history():
+    sim = _counter_sim()
+    state = sim.reset()
+    rec = TraceRecorder(sim)
+    for _ in range(4):
+        rec.record(sim.step(state))
+    hist = rec.history()
+    assert hist.shape == (4, sim.num_instances, 1)
+
+
+def test_trace_recorder_limit():
+    sim = _counter_sim()
+    rec = TraceRecorder(sim, limit_cycles=1)
+    state = sim.reset()
+    rec.record(sim.step(state))
+    with pytest.raises(SimulationError):
+        rec.record(sim.step(state))
+
+
+def test_netlist_stats_groups_and_percentages():
+    b = NetlistBuilder("die", group="aes")
+    a = b.input("a")
+    for _ in range(10):
+        b.inv(a)
+    with b.in_group("trojan"):
+        b.inv(a)
+    stats = netlist_stats(b.build())
+    assert stats.groups["aes"].gate_count == 10
+    assert stats.groups["trojan"].gate_count == 1
+    assert stats.gate_percentage("trojan", "aes") == pytest.approx(10.0)
+    assert 0 < stats.area_percentage("trojan", "aes") <= 100
+    assert stats.total_gates == 11
+
+
+def test_format_table_contains_rows():
+    b = NetlistBuilder("die", group="aes")
+    a = b.input("a")
+    b.inv(a)
+    with b.in_group("trojan1"):
+        b.inv(a)
+    stats = netlist_stats(b.build())
+    table = format_table(stats, reference="aes")
+    assert "aes" in table and "trojan1" in table and "%" in table

@@ -1,0 +1,200 @@
+"""Tests for the vectorised cycle-based simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.logic.builder import NetlistBuilder
+from repro.logic.simulator import CompiledNetlist
+
+
+def _xor_chain():
+    b = NetlistBuilder("x")
+    a = b.input("a")
+    c = b.input("b")
+    y = b.xor2(a, c)
+    q = b.dff(y)
+    b.mark_output(q)
+    return b.build(), y, q
+
+
+def test_reset_settles_combinational():
+    nl, y, _q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset(
+        batch=2, inputs={"a": np.array([1, 0], bool), "b": np.array([0, 0], bool)}
+    )
+    assert np.array_equal(sim.read(state, y), np.array([True, False]))
+
+
+def test_flop_captures_on_edge_not_reset():
+    nl, _y, q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset(
+        batch=1, inputs={"a": np.array([True]), "b": np.array([False])}
+    )
+    assert not sim.read(state, q)[0]
+    sim.step(state)
+    assert sim.read(state, q)[0]
+
+
+def test_input_applied_after_capture():
+    """step() captures the PREVIOUS cycle's D, then applies new inputs."""
+    nl, _y, q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset(
+        batch=1, inputs={"a": np.array([True]), "b": np.array([False])}
+    )
+    # New input a=0 arrives with this step; the flop still captures the
+    # old settled value (1).
+    sim.step(state, {"a": np.array([False])})
+    assert sim.read(state, q)[0]
+    sim.step(state)
+    assert not sim.read(state, q)[0]
+
+
+def test_toggle_matrix_shape_and_content():
+    nl, _y, _q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset(batch=3)
+    toggles = sim.step(
+        state, {"a": np.array([1, 0, 1], bool), "b": np.array([0, 0, 1], bool)}
+    )
+    assert toggles.shape == (sim.num_instances, 3)
+    xor_row = toggles[sim.instance_index[nl.nets[_y].driver]]
+    assert np.array_equal(xor_row, np.array([True, False, False]))
+
+
+def test_dffe_holds_when_disabled():
+    b = NetlistBuilder("e")
+    d = b.input("d")
+    en = b.input("en")
+    q = b.dff(d, enable=en)
+    sim = CompiledNetlist(b.build())
+    state = sim.reset(
+        batch=1, inputs={"d": np.array([True]), "en": np.array([True])}
+    )
+    sim.step(state, {"en": np.array([False]), "d": np.array([False])})
+    assert sim.read(state, q)[0]  # captured while enabled
+    sim.step(state)
+    assert sim.read(state, q)[0]  # held while disabled
+
+
+def test_ff_init_values_applied():
+    b = NetlistBuilder("i")
+    q1 = b.dff(b.const(0), init=1)
+    q0 = b.dff(b.const(1), init=0)
+    sim = CompiledNetlist(b.build())
+    state = sim.reset()
+    assert sim.read(state, q1)[0]
+    assert not sim.read(state, q0)[0]
+
+
+def test_unknown_input_rejected():
+    nl, _y, _q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset()
+    with pytest.raises(SimulationError):
+        sim.step(state, {"ghost": np.array([True])})
+
+
+def test_wrong_input_shape_rejected():
+    nl, _y, _q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset(batch=2)
+    with pytest.raises(SimulationError):
+        sim.step(state, {"a": np.array([True, False, True])})
+
+
+def test_scalar_input_broadcasts():
+    nl, y, _q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    state = sim.reset(batch=4, inputs={"a": True, "b": False})
+    assert sim.read(state, y).all()
+
+
+def test_zero_batch_rejected():
+    nl, _y, _q = _xor_chain()
+    sim = CompiledNetlist(nl)
+    with pytest.raises(SimulationError):
+        sim.reset(batch=0)
+
+
+def test_read_bus_width_limit():
+    b = NetlistBuilder("w")
+    bus = b.input_bus("x", 64)
+    sim = CompiledNetlist(b.build())
+    state = sim.reset()
+    with pytest.raises(SimulationError):
+        sim.read_bus(state, bus)
+    assert sim.read_bus_bits(state, bus).shape == (64, 1)
+
+
+def test_force_net_propagates():
+    b = NetlistBuilder("f")
+    a = b.input("a")
+    y = b.inv(a)
+    sim = CompiledNetlist(b.build())
+    state = sim.reset(inputs={"a": np.array([False])})
+    assert sim.read(state, y)[0]
+    sim.force_net(state, a, True)
+    assert not sim.read(state, y)[0]
+
+
+def test_output_values_tracks_instances():
+    b = NetlistBuilder("ov")
+    a = b.input("a")
+    b.inv(a)
+    sim = CompiledNetlist(b.build())
+    state = sim.reset(inputs={"a": np.array([False])})
+    vals = sim.output_values(state)
+    assert vals.shape == (1, 1)
+    assert vals[0, 0]  # INV of 0
+
+
+def test_clock_enable_values():
+    b = NetlistBuilder("ce")
+    d = b.input("d")
+    en = b.input("en")
+    b.dff(d)  # always clocked
+    b.dff(d, enable=en)
+    sim = CompiledNetlist(b.build())
+    state = sim.reset(
+        batch=2,
+        inputs={"d": np.zeros(2, bool), "en": np.array([True, False])},
+    )
+    ce = sim.clock_enable_values(state)
+    assert ce.shape == (2, 2)
+    assert ce[0].all()  # plain DFF always enabled
+    assert np.array_equal(ce[1], np.array([True, False]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+def test_batched_equals_sequential_simulation(a_val, b_val):
+    """One batched run must equal two independent runs (no cross-talk)."""
+    b = NetlistBuilder("p")
+    xa = b.input_bus("xa", 16)
+    xb = b.input_bus("xb", 16)
+    s, carry = b.adder_bus(xa, xb)
+    q = b.register_bus(s)
+    sim = CompiledNetlist(b.build())
+
+    def run(batch_vals):
+        inputs = {}
+        av = np.array([v[0] for v in batch_vals])
+        bv = np.array([v[1] for v in batch_vals])
+        for i in range(16):
+            inputs[f"xa[{i}]"] = ((av >> (15 - i)) & 1).astype(bool)
+            inputs[f"xb[{i}]"] = ((bv >> (15 - i)) & 1).astype(bool)
+        state = sim.reset(batch=len(batch_vals), inputs=inputs)
+        sim.step(state)
+        return sim.read_bus(state, q)
+
+    together = run([(a_val, b_val), (b_val, a_val)])
+    alone0 = run([(a_val, b_val)])
+    alone1 = run([(b_val, a_val)])
+    assert together[0] == alone0[0]
+    assert together[1] == alone1[0]
+    assert together[0] == (a_val + b_val) % 65536

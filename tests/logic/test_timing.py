@@ -1,0 +1,70 @@
+"""Tests for the static timing analyser."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.logic.builder import NetlistBuilder
+from repro.logic.timing import analyze_timing, cell_delay
+
+
+def _chain(n_inverters: int):
+    b = NetlistBuilder("chain")
+    d = b.input("d")
+    q = b.dff(d)
+    node = q
+    for _ in range(n_inverters):
+        node = b.inv(node)
+    b.dff(node)
+    return b.build()
+
+
+def test_longer_chain_is_slower():
+    short = analyze_timing(_chain(4), clock_period=10e-9)
+    long_ = analyze_timing(_chain(20), clock_period=10e-9)
+    assert long_.critical_path.delay > short.critical_path.delay
+    assert long_.max_frequency < short.max_frequency
+
+
+def test_critical_path_is_the_chain():
+    report = analyze_timing(_chain(6), clock_period=10e-9)
+    # Path: 6 inverters (the DFF start point appears as the first hop).
+    inv_hops = [i for i in report.critical_path.instances if i.startswith("inv")]
+    assert len(inv_hops) == 6
+
+
+def test_slack_sign():
+    report = analyze_timing(_chain(8), clock_period=100e-9)
+    assert report.met and report.slack > 0
+    tight = analyze_timing(_chain(200), clock_period=1e-9)
+    assert not tight.met and tight.slack < 0
+    assert "VIOLATED" in tight.format()
+
+
+def test_load_increases_delay():
+    b = NetlistBuilder("load")
+    a = b.input("a")
+    light = b.inv(a)
+    heavy = b.inv(a)
+    for _ in range(12):
+        b.buf(heavy)
+    nl = b.build()
+    light_drv = nl.nets[light].driver
+    heavy_drv = nl.nets[heavy].driver
+    assert cell_delay(nl, heavy_drv) > cell_delay(nl, light_drv)
+
+
+def test_bad_period_rejected():
+    with pytest.raises(SimulationError):
+        analyze_timing(_chain(2), clock_period=0.0)
+
+
+def test_aes_closes_timing_at_24mhz():
+    """The generated AES must actually run at the chip's clock."""
+    from repro.crypto import build_aes_circuit
+
+    aes = build_aes_circuit()
+    report = analyze_timing(aes.netlist, clock_period=1 / 24e6)
+    assert report.met, report.format()
+    # And its critical path is S-box-ish deep, not trivial.
+    assert report.critical_path.delay > 2e-9
+    assert report.max_frequency > 24e6

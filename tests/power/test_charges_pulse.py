@@ -1,0 +1,147 @@
+"""Tests for per-cell charges and pulse-kernel waveform synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmModelError
+from repro.layout.technology import make_tech180
+from repro.logic.builder import NetlistBuilder
+from repro.power.charges import (
+    clock_charges,
+    leakage_power,
+    switching_charges,
+    total_dynamic_energy,
+)
+from repro.power.pulse import (
+    convolve_kernel,
+    current_kernel,
+    emf_kernel,
+    step_kernel,
+    synthesize_events,
+)
+
+FS = 2.4e9
+
+
+@pytest.fixture(scope="module")
+def small_netlist():
+    b = NetlistBuilder("p", group="core")
+    a = b.input("a")
+    y1 = b.inv(a)
+    y2 = b.inv(y1)
+    b.dff(y2)
+    # High-fanout node.
+    for _ in range(10):
+        b.buf(y1)
+    return b.build()
+
+
+def test_switching_charges_positive_and_fanout_sensitive(small_netlist):
+    tech = make_tech180()
+    names = list(small_netlist.instances)
+    q = switching_charges(small_netlist, names, tech)
+    assert (q > 0).all()
+    # The first inverter drives 11 loads and must carry the most charge.
+    idx = {n: i for i, n in enumerate(names)}
+    driver = small_netlist.nets[
+        small_netlist.instances[names[0]].output_net
+    ].driver
+    assert q[idx[driver]] == q.max()
+
+
+def test_clock_charges_only_for_flops(small_netlist):
+    tech = make_tech180()
+    names = list(small_netlist.instances)
+    qc = clock_charges(small_netlist, names, tech)
+    for name, value in zip(names, qc):
+        inst = small_netlist.instances[name]
+        if inst.cell.is_sequential:
+            assert value > 0
+        else:
+            assert value == 0
+
+
+def test_leakage_power_positive(small_netlist):
+    assert leakage_power(small_netlist, make_tech180()) > 0
+
+
+def test_total_dynamic_energy(small_netlist):
+    tech = make_tech180()
+    names = list(small_netlist.instances)
+    q = switching_charges(small_netlist, names, tech)
+    counts = np.ones(len(names))
+    energy = total_dynamic_energy(counts, q, tech.vdd)
+    assert energy == pytest.approx(float(q.sum()) * tech.vdd)
+    with pytest.raises(ValueError):
+        total_dynamic_energy(np.ones(3), q, tech.vdd)
+
+
+def test_current_kernel_unit_area():
+    k = current_kernel(FS, 1e-9)
+    assert k.sum() / FS == pytest.approx(1.0)
+    assert (k >= 0).all()
+    assert len(k) % 2 == 1
+
+
+def test_emf_kernel_integrates_to_zero():
+    k = emf_kernel(FS, 1e-9)
+    assert abs(k.sum() / FS) < 1e-6 * np.abs(k).max()
+
+
+def test_step_kernel_is_negative_unit_area():
+    k = step_kernel(FS, 2e-9)
+    assert k.sum() / FS == pytest.approx(-1.0)
+
+
+def test_kernel_validation():
+    with pytest.raises(EmModelError):
+        current_kernel(-1, 1e-9)
+    with pytest.raises(EmModelError):
+        current_kernel(FS, 0)
+
+
+def test_synthesize_single_event_places_kernel():
+    kern = emf_kernel(FS, 1e-9)
+    wave = synthesize_events(
+        np.array([100 / FS]), np.array([2.0]), kern, 300, FS
+    )
+    assert wave.shape == (1, 300)
+    peak_idx = int(np.argmax(np.abs(wave[0])))
+    assert abs(peak_idx - 100) <= len(kern)
+    assert np.abs(wave).max() == pytest.approx(2.0 * np.abs(kern).max(), rel=1e-9)
+
+
+def test_synthesize_is_linear():
+    kern = emf_kernel(FS, 1e-9)
+    times = np.array([50 / FS, 120 / FS])
+    a = synthesize_events(times, np.array([1.0, 0.0]), kern, 300, FS)
+    b = synthesize_events(times, np.array([0.0, 3.0]), kern, 300, FS)
+    both = synthesize_events(times, np.array([1.0, 3.0]), kern, 300, FS)
+    assert np.allclose(both, a + b, atol=1e-9 * np.abs(both).max())
+
+
+def test_synthesize_batched_amplitudes():
+    kern = emf_kernel(FS, 1e-9)
+    amps = np.array([[1.0, 2.0]])
+    wave = synthesize_events(np.array([10 / FS]), amps, kern, 100, FS)
+    assert wave.shape == (2, 100)
+    assert np.allclose(wave[1], 2 * wave[0])
+
+
+def test_synthesize_ignores_out_of_range_events():
+    kern = emf_kernel(FS, 1e-9)
+    wave = synthesize_events(
+        np.array([-5 / FS, 1e6 / FS]), np.array([1.0, 1.0]), kern, 100, FS
+    )
+    assert np.abs(wave).max() < 1e-30 * np.abs(kern).max() + 1e-30
+
+
+def test_synthesize_shape_mismatch():
+    kern = emf_kernel(FS, 1e-9)
+    with pytest.raises(EmModelError):
+        synthesize_events(np.array([0.0]), np.array([1.0, 2.0]), kern, 10, FS)
+
+
+def test_convolve_kernel_requires_2d():
+    with pytest.raises(EmModelError):
+        convolve_kernel(np.zeros(10), np.zeros(3))

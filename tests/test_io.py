@@ -1,0 +1,89 @@
+"""Tests for trace-bundle persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.io import (
+    TraceBundle,
+    load_json_report,
+    load_traces,
+    save_json_report,
+    save_traces,
+)
+
+
+def _bundle(rng):
+    return TraceBundle(
+        traces=rng.normal(size=(8, 64)),
+        receiver="sensor",
+        fs=2.4e9,
+        chip_seed=1,
+        scenario="simulation",
+        trojan_enables=("trojan4",),
+        extras={"note": "unit test"},
+    )
+
+
+def test_roundtrip(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = tmp_path / "campaign.npz"
+    save_traces(bundle, path)
+    loaded = load_traces(path)
+    assert np.array_equal(loaded.traces, bundle.traces)
+    assert loaded.receiver == "sensor"
+    assert loaded.fs == 2.4e9
+    assert loaded.chip_seed == 1
+    assert loaded.trojan_enables == ("trojan4",)
+    assert loaded.extras == {"note": "unit test"}
+    assert loaded.n_traces == 8
+
+
+def test_digest_detects_corruption(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = tmp_path / "campaign.npz"
+    save_traces(bundle, path)
+    # Re-save with tampered traces but the old manifest.
+    import json
+
+    with np.load(path) as data:
+        manifest = data["manifest"]
+        traces = data["traces"].copy()
+    traces[0, 0] += 1.0
+    np.savez_compressed(path, traces=traces, manifest=manifest)
+    with pytest.raises(MeasurementError, match="digest"):
+        load_traces(path)
+
+
+def test_not_a_bundle(tmp_path, rng):
+    path = tmp_path / "other.npz"
+    np.savez(path, foo=np.zeros(3))
+    with pytest.raises(MeasurementError):
+        load_traces(path)
+
+
+def test_bad_trace_shape_rejected(tmp_path, rng):
+    bundle = _bundle(rng)
+    bundle.traces = bundle.traces.ravel()
+    with pytest.raises(MeasurementError):
+        save_traces(bundle, tmp_path / "x.npz")
+
+
+def test_json_report_roundtrip(tmp_path):
+    report = {
+        "snr_db": np.float64(29.97),
+        "count": np.int64(42),
+        "values": np.arange(3),
+        "name": "fig6",
+    }
+    path = tmp_path / "report.json"
+    save_json_report(report, path)
+    loaded = load_json_report(path)
+    assert loaded["snr_db"] == pytest.approx(29.97)
+    assert loaded["count"] == 42
+    assert loaded["values"] == [0, 1, 2]
+
+
+def test_json_report_rejects_exotic_types(tmp_path):
+    with pytest.raises(TypeError):
+        save_json_report({"x": object()}, tmp_path / "bad.json")

@@ -1,0 +1,57 @@
+"""Tests for the Trojan taxonomy registry."""
+
+import pytest
+
+from repro.chip.chip import ALL_TROJANS
+from repro.trojans.taxonomy import (
+    AbstractionLevel,
+    Activation,
+    Effect,
+    PROFILES,
+    by_effect,
+    coverage_summary,
+    profile,
+)
+
+
+def test_every_chip_trojan_has_a_profile():
+    assert set(PROFILES) == set(ALL_TROJANS)
+
+
+def test_profile_lookup():
+    p = profile("trojan1")
+    assert p.effect is Effect.LEAK_INFORMATION
+    assert "750 kHz" in p.channel
+    with pytest.raises(KeyError):
+        profile("trojan9")
+
+
+def test_a2_is_the_only_transistor_level_trojan():
+    analog = [
+        name
+        for name, p in PROFILES.items()
+        if p.abstraction is AbstractionLevel.TRANSISTOR
+    ]
+    assert analog == ["a2"]
+
+
+def test_leakers_vs_degraders():
+    leakers = {p.name for p in by_effect(Effect.LEAK_INFORMATION)}
+    assert leakers == {"trojan1", "trojan2", "trojan3"}
+    degraders = {p.name for p in by_effect(Effect.DEGRADE_PERFORMANCE)}
+    assert degraders == {"trojan4"}
+
+
+def test_all_digital_trojans_have_dual_triggers():
+    """Paper: 'Besides the original triggering mechanism, we design an
+    extra triggering signal for each Trojan'."""
+    for name in ("trojan1", "trojan2", "trojan3", "trojan4"):
+        acts = profile(name).activation
+        assert Activation.INTERNALLY_TRIGGERED in acts
+        assert Activation.EXTERNALLY_TRIGGERED in acts
+
+
+def test_coverage_summary_mentions_everyone():
+    text = coverage_summary()
+    for name in ALL_TROJANS:
+        assert name in text
