@@ -1,0 +1,188 @@
+"""Bench: the performance layer — EM kernels, acquisition, campaigns.
+
+Timings (and speedups against the retained loop reference
+implementations) for the three hot paths every figure funnels through:
+the Biot–Savart field solver, the Neumann mutual-inductance quadrature,
+and the cycle-by-cycle acquisition engine — plus the parallel campaign
+runner.  Sizes mirror real use: a full-die field map is ~2000 power-grid
+segments × a 40×40 surface grid, and the coil couples through a 64-side
+spiral approximation.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import record_timing, run_once
+
+from repro.chip.acquire import AcquisitionEngine, EncryptionWorkload
+from repro.em.biot_savart import (
+    _b_field_of_segments_loop,
+    b_field_of_segments,
+)
+from repro.em.mutual import (
+    _mutual_inductance_to_loop_loop,
+    mutual_inductance_to_loop,
+)
+from repro.experiments import campaign_spec, run_campaigns
+
+N_SEGMENTS = 2000
+N_POINTS = 1600  # 40 x 40 surface grid
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _grid_geometry(rng: np.random.Generator):
+    """Axis-aligned power-grid-like segments over a 2x2 mm die."""
+    s = np.zeros((N_SEGMENTS, 3))
+    s[:, 0] = rng.uniform(0.0, 2e-3, N_SEGMENTS)
+    s[:, 1] = rng.uniform(0.0, 2e-3, N_SEGMENTS)
+    e = s.copy()
+    half = N_SEGMENTS // 2
+    e[:half, 0] += 25e-6  # rail stubs along x
+    e[half:, 1] += rng.choice([-1.0, 1.0], N_SEGMENTS - half) * 150e-6
+    currents = rng.normal(size=N_SEGMENTS)
+    gx, gy = np.meshgrid(np.linspace(0, 2e-3, 40), np.linspace(0, 2e-3, 40))
+    points = np.stack(
+        [gx.ravel(), gy.ravel(), np.full(gx.size, 10e-6)], axis=1
+    )
+    return s, e, currents, points
+
+
+def test_biot_savart_kernel(benchmark):
+    """Vectorised field solver ≥ 5× over the per-segment loop."""
+    rng = np.random.default_rng(2020)
+    s, e, currents, points = _grid_geometry(rng)
+
+    field = run_once(benchmark, b_field_of_segments, s, e, currents, points)
+    t_vec = _best_of(lambda: b_field_of_segments(s, e, currents, points))
+    t_loop = _best_of(
+        lambda: _b_field_of_segments_loop(s, e, currents, points), repeats=1
+    )
+    reference = _b_field_of_segments_loop(s, e, currents, points)
+
+    speedup = t_loop / t_vec
+    record_timing("biot_savart_loop_reference", t_loop, speedup=speedup)
+    print(
+        f"\nb_field_of_segments (N={N_SEGMENTS}, P={N_POINTS}): "
+        f"{t_vec * 1e3:.0f} ms vs loop {t_loop * 1e3:.0f} ms "
+        f"-> {speedup:.1f}x"
+    )
+    rel = np.max(np.abs(field - reference)) / np.max(np.abs(reference))
+    assert rel <= 1e-12, rel
+    assert speedup >= 5.0, speedup
+
+
+def test_mutual_inductance_kernel(benchmark):
+    """Vectorised Neumann quadrature beats the per-coil-segment loop."""
+    rng = np.random.default_rng(2021)
+    s, e, _currents, _points = _grid_geometry(rng)
+    theta = np.linspace(0.0, 2.0 * np.pi, 65)
+    coil = np.stack(
+        [
+            1e-3 + 4e-4 * np.cos(theta),
+            1e-3 + 4e-4 * np.sin(theta),
+            np.full(theta.size, 10e-6),
+        ],
+        axis=1,
+    )
+
+    m = run_once(benchmark, mutual_inductance_to_loop, s, e, coil)
+    t_vec = _best_of(lambda: mutual_inductance_to_loop(s, e, coil))
+    t_loop = _best_of(
+        lambda: _mutual_inductance_to_loop_loop(s, e, coil), repeats=1
+    )
+    reference = _mutual_inductance_to_loop_loop(s, e, coil)
+
+    speedup = t_loop / t_vec
+    record_timing("mutual_inductance_loop_reference", t_loop, speedup=speedup)
+    print(
+        f"\nmutual_inductance_to_loop (N={N_SEGMENTS}, C=64): "
+        f"{t_vec * 1e3:.0f} ms vs loop {t_loop * 1e3:.0f} ms "
+        f"-> {speedup:.1f}x"
+    )
+    rel = np.max(np.abs(m - reference)) / np.max(np.abs(reference))
+    assert rel <= 1e-12, rel
+    assert speedup >= 1.5, speedup
+
+
+def test_acquisition_engine(benchmark, chip, sim_scenario):
+    """Cycle loop throughput at a realistic campaign size."""
+    engine = AcquisitionEngine(chip, sim_scenario)
+    workload = EncryptionWorkload(chip.aes, b"\x2b" * 16, period=12)
+    result = run_once(
+        benchmark,
+        engine.acquire,
+        workload,
+        n_cycles=120,
+        batch=32,
+        rng_role="bench/acquire",
+    )
+    assert set(result.traces) == set(chip.receivers)
+    print(
+        f"\nacquire (120 cycles x batch 32): "
+        f"{benchmark.stats.stats.mean:.2f} s"
+    )
+
+
+def test_parallel_campaign_sweep(benchmark, chip, sim_scenario):
+    """4-campaign Trojan sweep: parallel output identical to serial."""
+    trojans = ("trojan1", "trojan2", "trojan3", "trojan4")
+    specs = [
+        campaign_spec(
+            name,
+            "ed",
+            chip,
+            sim_scenario,
+            n_traces=48,
+            batch=16,
+            trojan_enables=(name,),
+            receivers=("sensor",),
+            rng_role=f"bench/{name}",
+        )
+        for name in trojans
+    ]
+
+    t0 = time.perf_counter()
+    serial = run_campaigns(specs, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    parallel = run_once(benchmark, run_campaigns, specs, workers=4)
+    t_parallel = benchmark.stats.stats.mean
+
+    speedup = t_serial / t_parallel
+    record_timing(
+        "campaign_sweep_serial",
+        t_serial,
+        speedup=speedup,
+        workers=4,
+        cpu_count=os.cpu_count(),
+    )
+    print(
+        f"\n4-campaign sweep: serial {t_serial:.1f} s, "
+        f"4 workers {t_parallel:.1f} s -> {speedup:.1f}x "
+        f"({os.cpu_count()} CPUs)"
+    )
+    for name in trojans:
+        assert np.array_equal(
+            serial[name]["sensor"], parallel[name]["sensor"]
+        ), name
+    # The fan-out can only beat the serial loop when the machine has
+    # cores to fan onto; on a single-CPU host we still require it not
+    # to fall off a cliff from pool overhead.
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, speedup
+    elif (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.2, speedup
+    else:
+        assert speedup >= 0.5, speedup

@@ -3,15 +3,66 @@
 One chip and one pair of SNR-calibrated scenarios serve every bench;
 the benches run each experiment once (``rounds=1``) because a single
 campaign already averages thousands of traces internally.
+
+Pass ``--bench-json FILE`` to append this run's timings to *FILE* as
+one JSON snapshot (a list of runs accumulates across invocations), so
+the perf trajectory survives across PRs::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_kernels.py \
+        -q --bench-json BENCH_perf_kernels.json
 """
 
 from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+from pathlib import Path
 
 import pytest
 
 from repro.chip import silicon_scenario, simulation_scenario
 from repro.chip.calibration import calibrate_scenario
 from repro.experiments import shared_chip
+
+#: Timings recorded by :func:`run_once` during this session.
+_BENCH_RESULTS: list[dict] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="FILE",
+        help="append this run's benchmark timings to FILE as one JSON "
+        "snapshot (the file holds a list of snapshots)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    if not path or not _BENCH_RESULTS:
+        return
+    snapshot = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "results": _BENCH_RESULTS,
+    }
+    target = Path(path)
+    history: list = []
+    if target.exists():
+        try:
+            history = json.loads(target.read_text())
+        except (OSError, ValueError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(snapshot)
+    target.write_text(json.dumps(history, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -34,4 +85,13 @@ def sil_scenario(chip):
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run *fn* exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    record_timing(benchmark.name, benchmark.stats.stats.mean)
+    return result
+
+
+def record_timing(name: str, seconds: float, **extra) -> None:
+    """Add one timing to the session's ``--bench-json`` snapshot."""
+    _BENCH_RESULTS.append({"name": name, "seconds": float(seconds), **extra})

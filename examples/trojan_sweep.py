@@ -3,11 +3,16 @@ histogram summaries for every digital Trojan, on both receivers.
 
 Run:  python examples/trojan_sweep.py          (simulation scenario)
       python examples/trojan_sweep.py silicon  (fabricated-chip scenario)
+
+The golden and per-Trojan campaigns fan out across worker processes;
+pass ``--workers N`` (or set ``REPRO_WORKERS``) to control the pool,
+``--workers 1`` to force the serial path — the numbers are identical
+either way.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.chip import silicon_scenario, simulation_scenario
 from repro.chip.calibration import calibrate_scenario
@@ -19,21 +24,36 @@ from repro.experiments import (
 
 
 def main() -> None:
-    which = sys.argv[1] if len(sys.argv) > 1 else "simulation"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        default="simulation",
+        choices=("simulation", "silicon"),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="campaign worker processes (default: REPRO_WORKERS or all CPUs)",
+    )
+    args = parser.parse_args()
+    which = args.scenario
     base = silicon_scenario() if which == "silicon" else simulation_scenario()
 
     chip = shared_chip(seed=1)
     scenario = calibrate_scenario(chip, base)
 
     print(f"=== Euclidean distances ({which}) ===")
-    result = run_euclidean_experiment(chip, scenario)
+    result = run_euclidean_experiment(chip, scenario, workers=args.workers)
     print(result.format())
     print()
 
     for receiver in ("probe", "sensor"):
         print(f"=== Fig. 6 histograms via the {receiver} ({which}) ===")
         hist = run_fig6_histograms(
-            chip, scenario, receiver, n_golden=600, n_suspect=600
+            chip, scenario, receiver, n_golden=600, n_suspect=600,
+            workers=args.workers,
         )
         print(hist.format())
         # Render the paper's most telling panel: Trojan 4.

@@ -14,6 +14,7 @@ call gives you what the scope stored for one campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -118,9 +119,9 @@ class AcquisitionResult:
     def n_samples(self) -> int:
         return next(iter(self.traces.values())).shape[1]
 
-    @property
+    @cached_property
     def time(self) -> np.ndarray:
-        """Sample time axis [s]."""
+        """Sample time axis [s] (built once, cached on the instance)."""
         return np.arange(self.n_samples) / self.fs
 
 
@@ -227,32 +228,42 @@ class AcquisitionEngine:
             name: ActivityAccumulator(self._w_data[name], levels)
             for name in names
         }
-        clock_frames: list[np.ndarray] = []  # (n_seq, batch) enable masks
+        acc_list = list(accumulators.values())
         watch: dict[str, str] = dict(record_nets or {})
         for i, tap in enumerate(chip.taps):
             watch[f"__tap{i}_net"] = tap.net
             if tap.gate_by is not None:
                 watch[f"__tap{i}_gate"] = tap.gate_by
-        recorded: dict[str, list[np.ndarray]] = {
-            label: [sim.read(state, net)] for label, net in watch.items()
-        }
+        watch_labels = list(watch)
+        watch_idx = np.array(
+            [sim.net_index[net] for net in watch.values()], dtype=np.int64
+        )
+
+        # Preallocated campaign buffers: clock-enable masks per cycle
+        # and one (cycles+1, nets, batch) block for all watched nets —
+        # each cycle is a single fancy-indexed gather, no list growth.
+        n_seq = sim.seq_instance_idx.size
+        clock_en = np.empty((n_cycles, n_seq, batch), dtype=bool)
+        rec_buf = np.empty(
+            (n_cycles + 1, watch_idx.size, batch), dtype=bool
+        )
+        if watch_idx.size:
+            rec_buf[0] = state.values[watch_idx]
 
         for k in range(1, n_cycles + 1):
-            clock_frames.append(sim.clock_enable_values(state))
+            clock_en[k - 1] = sim.clock_enable_values(state)
             toggles = sim.step(state, workload.inputs(k, batch))
             rising = toggles & sim.output_values(state)
             weighted = toggles * FALL_CURRENT_FRACTION + rising * (
                 1.0 - FALL_CURRENT_FRACTION
             )
-            for acc in accumulators.values():
-                acc.record(weighted)
-            for label, net in watch.items():
-                recorded[label].append(sim.read(state, net))
+            ActivityAccumulator.record_all(acc_list, weighted)
+            if watch_idx.size:
+                rec_buf[k] = state.values[watch_idx]
 
         n_samples = (n_cycles + 1) * cfg.samples_per_cycle
-        clock_en = np.stack(clock_frames, axis=0)  # (cycles, n_seq, batch)
         rec_arrays = {
-            label: np.stack(vals, axis=0) for label, vals in recorded.items()
+            label: rec_buf[:, j] for j, label in enumerate(watch_labels)
         }
 
         traces: dict[str, np.ndarray] = {}

@@ -1,0 +1,73 @@
+"""Memory budgeting for the vectorised EM kernels.
+
+The Biot–Savart and Neumann solvers broadcast every source segment
+against every observation/quadrature point.  At field-map sizes
+(thousands of power-grid segments × thousands of surface points) the
+naive broadcast would allocate gigabytes, so both kernels walk the
+source axis in chunks sized to a fixed byte budget — large enough that
+numpy amortises per-call overhead, small enough to stay cache- and
+RAM-friendly.
+
+The budget is configurable per call (``chunk_bytes=``) or process-wide
+through the ``REPRO_EM_CHUNK_MB`` environment variable; see
+``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import EmModelError
+
+#: Default cap on a kernel's transient broadcast buffers [bytes].
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+#: Environment variable overriding the default budget, in mebibytes.
+CHUNK_ENV_VAR = "REPRO_EM_CHUNK_MB"
+
+#: Preferred working-set size for elementwise kernel chunks [bytes].
+#: The EM kernels are memory-bandwidth-bound, so chunks that keep all
+#: live temporaries resident in the last-level cache beat chunks that
+#: merely fit in RAM.  The byte budget above remains a hard ceiling;
+#: this target only shrinks chunks further when the budget allows more.
+CACHE_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+def resolve_chunk_bytes(chunk_bytes: int | None) -> int:
+    """Return the effective temporary-buffer budget in bytes.
+
+    Precedence: explicit *chunk_bytes* argument, then the
+    ``REPRO_EM_CHUNK_MB`` environment variable, then
+    :data:`DEFAULT_CHUNK_BYTES`.
+    """
+    if chunk_bytes is None:
+        env = os.environ.get(CHUNK_ENV_VAR)
+        if env is not None:
+            try:
+                chunk_bytes = int(float(env) * 1024 * 1024)
+            except ValueError:
+                raise EmModelError(
+                    f"{CHUNK_ENV_VAR}={env!r} is not a number"
+                ) from None
+        else:
+            chunk_bytes = DEFAULT_CHUNK_BYTES
+    if chunk_bytes <= 0:
+        raise EmModelError(f"chunk budget must be positive, got {chunk_bytes}")
+    return chunk_bytes
+
+
+def rows_per_chunk(
+    bytes_per_row: int,
+    chunk_bytes: int | None = None,
+    target_bytes: int | None = None,
+) -> int:
+    """How many source rows fit in the budget (always at least one).
+
+    *target_bytes*, when given, lowers the effective budget below the
+    configured ceiling — used by kernels that prefer cache-resident
+    chunks (:data:`CACHE_CHUNK_BYTES`) over the full RAM budget.
+    """
+    budget = resolve_chunk_bytes(chunk_bytes)
+    if target_bytes is not None:
+        budget = min(budget, target_bytes)
+    return max(1, budget // max(1, bytes_per_row))

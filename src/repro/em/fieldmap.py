@@ -133,22 +133,29 @@ def trojan_difference_map(
     workload_factory,
     n_cycles: int = 64,
     grid: int = 40,
+    golden_activity: np.ndarray | None = None,
 ) -> tuple[FieldMap, FieldMap, FieldMap]:
     """(golden, active, |difference|) field maps for one Trojan.
 
     *workload_factory* builds a fresh workload per acquisition (e.g.
     ``lambda: EncryptionWorkload(chip.aes, key, period=12)``).
+
+    The golden activity does not depend on the Trojan, so callers
+    sweeping several Trojans should pass a precomputed
+    *golden_activity* (or use :func:`trojan_difference_maps`, which
+    does) rather than re-simulating it per Trojan.
     """
-    golden_act = average_cell_activity(
-        chip, workload_factory(), n_cycles=n_cycles
-    )
+    if golden_activity is None:
+        golden_activity = average_cell_activity(
+            chip, workload_factory(), n_cycles=n_cycles
+        )
     active_act = average_cell_activity(
         chip,
         workload_factory(),
         n_cycles=n_cycles,
         trojan_enables=(trojan,),
     )
-    golden = field_map_from_activity(chip, golden_act, grid=grid)
+    golden = field_map_from_activity(chip, golden_activity, grid=grid)
     active = field_map_from_activity(chip, active_act, grid=grid)
     diff = FieldMap(
         xs=golden.xs,
@@ -156,3 +163,32 @@ def trojan_difference_map(
         magnitude=np.abs(active.magnitude - golden.magnitude),
     )
     return golden, active, diff
+
+
+def trojan_difference_maps(
+    chip: Chip,
+    trojans: tuple[str, ...],
+    workload_factory,
+    n_cycles: int = 64,
+    grid: int = 40,
+) -> dict[str, tuple[FieldMap, FieldMap, FieldMap]]:
+    """Difference maps for a whole Trojan sweep, golden computed once.
+
+    Returns ``{trojan: (golden, active, |difference|)}`` with the same
+    per-Trojan values as calling :func:`trojan_difference_map` in a
+    loop — minus N-1 redundant golden-activity simulations.
+    """
+    golden_activity = average_cell_activity(
+        chip, workload_factory(), n_cycles=n_cycles
+    )
+    return {
+        trojan: trojan_difference_map(
+            chip,
+            trojan,
+            workload_factory,
+            n_cycles=n_cycles,
+            grid=grid,
+            golden_activity=golden_activity,
+        )
+        for trojan in trojans
+    }

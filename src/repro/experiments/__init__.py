@@ -22,6 +22,13 @@ from repro.experiments.campaign import (
     collect_spectral_record,
     shared_chip,
 )
+from repro.experiments.parallel import (
+    CampaignSpec,
+    campaign_spec,
+    register_chip,
+    resolve_workers,
+    run_campaigns,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.snr import SnrExperimentResult, run_snr_experiment
 from repro.experiments.euclidean import (
@@ -52,6 +59,11 @@ __all__ = [
     "collect_ed_traces",
     "collect_spectral_record",
     "shared_chip",
+    "CampaignSpec",
+    "campaign_spec",
+    "register_chip",
+    "resolve_workers",
+    "run_campaigns",
     "Table1Result",
     "run_table1",
     "SnrExperimentResult",

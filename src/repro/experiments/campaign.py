@@ -63,7 +63,7 @@ def shared_chip(seed: int = 0, trojans: tuple[str, ...] = ALL_TROJANS) -> Chip:
     return Chip.build(config=ChipConfig(), trojans=trojans, seed=seed)
 
 
-_CALIBRATION_CACHE: dict[tuple[int, str], Scenario] = {}
+_CALIBRATION_CACHE: dict[tuple[int, tuple[str, ...], str], Scenario] = {}
 
 
 def calibrated(chip: Chip, scenario: Scenario) -> Scenario:
@@ -71,10 +71,13 @@ def calibrated(chip: Chip, scenario: Scenario) -> Scenario:
 
     See :mod:`repro.chip.calibration`: the four unknown bench noise
     magnitudes are solved from the paper's four reported SNR figures.
+    The cache keys on the values that determine the calibration —
+    ``(chip.seed, chip.trojans, scenario.name)`` — not ``id(chip)``,
+    which a recycled address after garbage collection could collide.
     """
     from repro.chip.calibration import calibrate_scenario
 
-    key = (id(chip), scenario.name)
+    key = (chip.seed, tuple(chip.trojans), scenario.name)
     cached = _CALIBRATION_CACHE.get(key)
     if cached is None:
         cached = calibrate_scenario(chip, scenario)

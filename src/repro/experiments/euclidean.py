@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.analysis.euclidean import DistanceReport, EuclideanDetector
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
-from repro.experiments.campaign import collect_ed_traces
+from repro.experiments.parallel import campaign_spec, run_campaigns
 
 #: Paper's simulated EDs (on-chip sensor).
 PAPER_EUCLIDEAN = {
@@ -63,28 +63,44 @@ def run_euclidean_experiment(
     n_golden: int = 1024,
     n_suspect: int = 384,
     trojans: tuple[str, ...] = DIGITAL_TROJANS,
+    workers: int | None = None,
 ) -> EuclideanExperimentResult:
-    """Compute Section IV-C's Euclidean distances for *receiver*."""
-    golden = collect_ed_traces(
-        chip,
-        scenario,
-        n_golden,
-        receivers=(receiver,),
-        rng_role="euclid/golden",
-    )[receiver]
-    detector = EuclideanDetector().fit(golden)
-    separations: dict[str, float] = {}
-    reports: dict[str, DistanceReport] = {}
-    for name in trojans:
-        suspect = collect_ed_traces(
+    """Compute Section IV-C's Euclidean distances for *receiver*.
+
+    The golden and per-Trojan campaigns fan out across *workers*
+    processes (see :mod:`repro.experiments.parallel`); results match
+    the serial loop exactly.
+    """
+    specs = [
+        campaign_spec(
+            "golden",
+            "ed",
             chip,
             scenario,
-            n_suspect,
+            n_traces=n_golden,
+            receivers=(receiver,),
+            rng_role="euclid/golden",
+        )
+    ]
+    specs += [
+        campaign_spec(
+            name,
+            "ed",
+            chip,
+            scenario,
+            n_traces=n_suspect,
             trojan_enables=(name,),
             receivers=(receiver,),
             rng_role=f"euclid/{name}",
-        )[receiver]
-        report = detector.evaluate(suspect)
+        )
+        for name in trojans
+    ]
+    traces = run_campaigns(specs, workers=workers)
+    detector = EuclideanDetector().fit(traces["golden"][receiver])
+    separations: dict[str, float] = {}
+    reports: dict[str, DistanceReport] = {}
+    for name in trojans:
+        report = detector.evaluate(traces[name][receiver])
         separations[name] = report.separation
         reports[name] = report
     assert detector.threshold is not None

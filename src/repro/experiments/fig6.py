@@ -28,7 +28,7 @@ from repro.analysis.histogram import (
 from repro.analysis.spectral import Spectrum, amplitude_spectrum, band_energy
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
-from repro.experiments.campaign import collect_ed_traces, collect_spectral_record
+from repro.experiments.parallel import campaign_spec, run_campaigns
 
 DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
 
@@ -77,28 +77,47 @@ def run_fig6_histograms(
     n_suspect: int = 2000,
     trojans: tuple[str, ...] = DIGITAL_TROJANS,
     bins: int = 80,
+    workers: int | None = None,
 ) -> Fig6HistogramResult:
-    """Reproduce one histogram row of Figure 6 for *receiver*."""
-    golden = collect_ed_traces(
-        chip,
-        scenario,
-        n_golden,
-        receivers=(receiver,),
-        rng_role="fig6/golden",
-    )[receiver]
+    """Reproduce one histogram row of Figure 6 for *receiver*.
+
+    The golden and per-Trojan acquisition campaigns are independent, so
+    they fan out across *workers* processes (see
+    :mod:`repro.experiments.parallel`); results match the serial loop
+    exactly.
+    """
+    specs = [
+        campaign_spec(
+            "golden",
+            "ed",
+            chip,
+            scenario,
+            n_traces=n_golden,
+            receivers=(receiver,),
+            rng_role="fig6/golden",
+        )
+    ]
+    specs += [
+        campaign_spec(
+            name,
+            "ed",
+            chip,
+            scenario,
+            n_traces=n_suspect,
+            trojan_enables=(name,),
+            receivers=(receiver,),
+            rng_role=f"fig6/{name}",
+        )
+        for name in trojans
+    ]
+    traces = run_campaigns(specs, workers=workers)
+    golden = traces["golden"][receiver]
     detector = EuclideanDetector().fit(golden)
     golden_d = detector.golden_distances
     assert golden_d is not None
     panels: dict[str, Fig6Panel] = {}
     for name in trojans:
-        suspect = collect_ed_traces(
-            chip,
-            scenario,
-            n_suspect,
-            trojan_enables=(name,),
-            receivers=(receiver,),
-            rng_role=f"fig6/{name}",
-        )[receiver]
+        suspect = traces[name][receiver]
         trojan_d = detector.distances(suspect)
         hist = distance_histogram(golden_d, trojan_d, bins=bins)
         panels[name] = Fig6Panel(
@@ -149,26 +168,41 @@ def run_fig6_spectra(
     receiver: str = "sensor",
     trojans: tuple[str, ...] = DIGITAL_TROJANS,
     low_band_hz: float = 4e6,
+    workers: int | None = None,
 ) -> Fig6SpectraResult:
     """Reproduce the spectral row of Figure 6."""
-    golden_rec = collect_spectral_record(
-        chip, scenario, n_cycles, receivers=(receiver,), rng_role="fig6s/golden"
-    )[receiver]
+    specs = [
+        campaign_spec(
+            "golden",
+            "spectral",
+            chip,
+            scenario,
+            n_cycles=n_cycles,
+            receivers=(receiver,),
+            rng_role="fig6s/golden",
+        )
+    ]
+    specs += [
+        campaign_spec(
+            name,
+            "spectral",
+            chip,
+            scenario,
+            n_cycles=n_cycles,
+            trojan_enables=(name,),
+            receivers=(receiver,),
+            rng_role=f"fig6s/{name}",
+        )
+        for name in trojans
+    ]
+    records = run_campaigns(specs, workers=workers)
     fs = chip.config.fs
-    golden = amplitude_spectrum(golden_rec, fs)
+    golden = amplitude_spectrum(records["golden"][receiver], fs)
     g_low = band_energy(golden, 1e5, low_band_hz)
     g_tot = band_energy(golden, 1e5, fs / 2)
     result = Fig6SpectraResult()
     for name in trojans:
-        rec = collect_spectral_record(
-            chip,
-            scenario,
-            n_cycles,
-            trojan_enables=(name,),
-            receivers=(receiver,),
-            rng_role=f"fig6s/{name}",
-        )[receiver]
-        spec = amplitude_spectrum(rec, fs)
+        spec = amplitude_spectrum(records[name][receiver], fs)
         result.panels[name] = Fig6SpectrumPanel(
             trojan=name,
             golden=golden,

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.chip.acquire import EncryptionWorkload
 from repro.chip.chip import Chip
-from repro.em.fieldmap import FieldMap, trojan_difference_map
+from repro.em.fieldmap import FieldMap, trojan_difference_maps
 from repro.experiments.campaign import DEFAULT_KEY, ED_PERIOD
 
 LOCALIZABLE_TROJANS = ("trojan1", "trojan2", "trojan4")
@@ -59,14 +59,15 @@ def run_localization(
     scores: dict[str, dict[str, float]] = {}
     located: dict[str, str] = {}
     diff_maps: dict[str, FieldMap] = {}
+    maps = trojan_difference_maps(
+        chip,
+        trojans,
+        lambda: EncryptionWorkload(chip.aes, key, period=ED_PERIOD),
+        n_cycles=n_cycles,
+        grid=grid,
+    )
     for trojan in trojans:
-        _golden, _active, diff = trojan_difference_map(
-            chip,
-            trojan,
-            lambda: EncryptionWorkload(chip.aes, key, period=ED_PERIOD),
-            n_cycles=n_cycles,
-            grid=grid,
-        )
+        _golden, _active, diff = maps[trojan]
         region_scores = {
             name: diff.region_mean(region.rect)
             for name, region in chip.floorplan.regions.items()

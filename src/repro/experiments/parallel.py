@@ -1,0 +1,170 @@
+"""Parallel campaign runner.
+
+Trojan sweeps are embarrassingly parallel: one acquisition campaign per
+(Trojan, scenario, receiver) combination, no shared mutable state.
+:func:`run_campaigns` fans a list of :class:`CampaignSpec` across a
+``ProcessPoolExecutor`` and returns exactly what the serial loop would
+have produced — every random stream is derived from
+``(chip.seed ^ scenario.seed, rng_role)`` through :func:`repro.rng.derive`
+inside the acquisition engine, so a campaign's traces depend only on its
+spec, never on which process ran it or in what order.
+
+Workers rebuild (or, under the ``fork`` start method, inherit) the chip
+via :func:`repro.experiments.campaign.shared_chip`; a caller holding a
+chip that did not come from that cache can make it available to the
+serial path and forked workers with :func:`register_chip`.
+
+Worker count: ``run_campaigns(..., workers=N)``, else the
+``REPRO_WORKERS`` environment variable, else ``os.cpu_count()``.  With
+one worker (or one campaign) everything runs in-process — same results,
+no pool overhead.  See ``docs/PERFORMANCE.md`` for when the fan-out
+actually pays off.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.chip.chip import Chip
+from repro.chip.scenario import Scenario
+from repro.errors import ExperimentError
+from repro.experiments.campaign import (
+    collect_ed_traces,
+    collect_spectral_record,
+    shared_chip,
+)
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Campaign kinds understood by the runner.
+CAMPAIGN_KINDS = ("ed", "spectral")
+
+#: Chips registered by callers, keyed like :func:`shared_chip`.  Forked
+#: workers inherit this (copy-on-write), so a registered chip is never
+#: rebuilt; spawned workers fall back to :func:`shared_chip`.
+_CHIP_CACHE: dict[tuple[int, tuple[str, ...]], Chip] = {}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One acquisition campaign, fully described by picklable values.
+
+    ``params`` are keyword arguments for the collector chosen by
+    ``kind`` (:func:`collect_ed_traces` or
+    :func:`collect_spectral_record`), stored as a sorted item tuple so
+    specs are hashable and order-insensitive.
+    """
+
+    name: str
+    kind: str
+    scenario: Scenario
+    chip_seed: int
+    chip_trojans: tuple[str, ...]
+    params: tuple[tuple[str, Any], ...]
+
+
+def campaign_spec(
+    name: str,
+    kind: str,
+    chip: Chip,
+    scenario: Scenario,
+    **params: Any,
+) -> CampaignSpec:
+    """Build a :class:`CampaignSpec` for *chip* under *scenario*.
+
+    The campaign's random streams are labelled by its ``rng_role``;
+    when the caller does not pass one, a role unique to *name* is
+    derived so distinct campaigns never share a stream.
+    """
+    if kind not in CAMPAIGN_KINDS:
+        raise ExperimentError(
+            f"unknown campaign kind {kind!r}; expected one of {CAMPAIGN_KINDS}"
+        )
+    params.setdefault("rng_role", f"campaign/{name}")
+    register_chip(chip)
+    return CampaignSpec(
+        name=name,
+        kind=kind,
+        scenario=scenario,
+        chip_seed=chip.seed,
+        chip_trojans=tuple(chip.trojans),
+        params=tuple(sorted(params.items())),
+    )
+
+
+def register_chip(chip: Chip) -> None:
+    """Make *chip* available to the runner without a rebuild.
+
+    The serial path and ``fork``-started workers resolve the chip from
+    this cache; workers on spawn-only platforms rebuild an identical
+    chip from ``(seed, trojans)`` via :func:`shared_chip`.
+    """
+    _CHIP_CACHE[(chip.seed, tuple(chip.trojans))] = chip
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: argument, ``REPRO_WORKERS``, cpu count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV_VAR)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{WORKERS_ENV_VAR}={env!r} is not an integer"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ExperimentError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def _resolve_chip(spec: CampaignSpec) -> Chip:
+    chip = _CHIP_CACHE.get((spec.chip_seed, spec.chip_trojans))
+    if chip is None:
+        chip = shared_chip(spec.chip_seed, spec.chip_trojans)
+    return chip
+
+
+def _run_one(spec: CampaignSpec) -> Any:
+    """Execute one campaign (also the worker-process entry point)."""
+    chip = _resolve_chip(spec)
+    kwargs = dict(spec.params)
+    if spec.kind == "ed":
+        return collect_ed_traces(chip, spec.scenario, **kwargs)
+    if spec.kind == "spectral":
+        return collect_spectral_record(chip, spec.scenario, **kwargs)
+    raise ExperimentError(f"unknown campaign kind {spec.kind!r}")
+
+
+def run_campaigns(
+    specs: Iterable[CampaignSpec],
+    workers: int | None = None,
+) -> dict[str, Any]:
+    """Run every campaign and return ``{spec.name: collector result}``.
+
+    Results are bit-identical to running the specs serially in a loop:
+    campaigns share nothing, and all randomness is seeded from the spec
+    itself.  The returned dict preserves the input order.
+    """
+    spec_list = list(specs)
+    names = [spec.name for spec in spec_list]
+    if len(set(names)) != len(names):
+        raise ExperimentError(f"campaign names must be unique, got {names}")
+    n_workers = min(resolve_workers(workers), len(spec_list))
+    if n_workers <= 1 or len(spec_list) <= 1:
+        return {spec.name: _run_one(spec) for spec in spec_list}
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+        futures = [pool.submit(_run_one, spec) for spec in spec_list]
+        return {
+            spec.name: fut.result()
+            for spec, fut in zip(spec_list, futures)
+        }

@@ -22,6 +22,10 @@ from repro.errors import SimulationError
 from repro.logic.netlist import Netlist
 from repro.logic.simulator import CompiledNetlist
 
+#: Ceiling on the dense per-bin fold matrix (see ActivityAccumulator);
+#: beyond this the accumulator falls back to the scatter-add fold.
+_DENSE_FOLD_LIMIT_BYTES = 128 * 1024 * 1024
+
 
 class ToggleCountRecorder:
     """Accumulates total output toggles per instance."""
@@ -86,6 +90,26 @@ class ActivityAccumulator:
         self.bins = bins
         self.num_bins = int(bins.max(initial=-1)) + 1
         self._frames: list[np.ndarray] = []
+        # The fold "sum weighted toggles per bin" is a matrix product
+        # with the (num_bins, insts) indicator-times-weight matrix; BLAS
+        # runs it several times faster than ``np.add.at``'s unbuffered
+        # scatter.  Only built when affordably dense.
+        self._dense: np.ndarray | None = None
+        if 0 < self.num_bins * weights.size * 8 <= _DENSE_FOLD_LIMIT_BYTES:
+            dense = np.zeros((self.num_bins, weights.size))
+            dense[bins, np.arange(weights.size)] = weights
+            self._dense = dense
+        self._stack_key: tuple[int, ...] | None = None
+        self._stack_dense: np.ndarray | None = None
+
+    def _fold(self, toggles: np.ndarray) -> np.ndarray:
+        """Fold one toggle matrix into a ``(bins, batch)`` frame."""
+        if self._dense is not None:
+            return self._dense @ toggles
+        frame = np.zeros((self.num_bins, toggles.shape[1]), dtype=np.float64)
+        if self.weights.size:
+            np.add.at(frame, self.bins, toggles * self.weights[:, None])
+        return frame
 
     def record(self, toggles: np.ndarray) -> None:
         """Fold in one cycle's toggle matrix of shape ``(insts, batch)``."""
@@ -94,11 +118,44 @@ class ActivityAccumulator:
                 f"toggle matrix has {toggles.shape[0]} rows, expected "
                 f"{self.weights.shape[0]}"
             )
-        batch = toggles.shape[1]
-        frame = np.zeros((self.num_bins, batch), dtype=np.float64)
-        weighted = toggles * self.weights[:, None]
-        np.add.at(frame, self.bins, weighted)
-        self._frames.append(frame)
+        self._frames.append(self._fold(toggles))
+
+    @staticmethod
+    def record_all(
+        accumulators: list["ActivityAccumulator"], toggles: np.ndarray
+    ) -> None:
+        """Fold one toggle matrix into several accumulators at once.
+
+        When every accumulator has a dense fold matrix (the acquisition
+        engine's receivers all do), they are stacked into a single
+        matrix product so the toggle matrix is read once per cycle
+        instead of once per receiver.
+        """
+        if not accumulators:
+            return
+        first = accumulators[0]
+        if toggles.shape[0] != first.weights.shape[0]:
+            raise SimulationError(
+                f"toggle matrix has {toggles.shape[0]} rows, expected "
+                f"{first.weights.shape[0]}"
+            )
+        if len(accumulators) == 1 or any(
+            acc._dense is None for acc in accumulators
+        ):
+            for acc in accumulators:
+                acc.record(toggles)
+            return
+        key = tuple(id(acc) for acc in accumulators)
+        if first._stack_key != key:
+            first._stack_key = key
+            first._stack_dense = np.vstack(
+                [acc._dense for acc in accumulators]
+            )
+        frames = first._stack_dense @ toggles
+        row = 0
+        for acc in accumulators:
+            acc._frames.append(frames[row : row + acc.num_bins])
+            row += acc.num_bins
 
     @property
     def cycles(self) -> int:

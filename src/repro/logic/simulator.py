@@ -156,6 +156,9 @@ class CompiledNetlist:
         self._input_index = {
             name: self.net_index[name] for name in netlist.inputs
         }
+        # Per-batch-size scratch buffers for _propagate's input gathers
+        # (one set per comb group), so the hot loop stops allocating.
+        self._scratch: dict[int, list[tuple[np.ndarray, ...]]] = {}
 
     # ------------------------------------------------------------------
     # Execution
@@ -332,6 +335,22 @@ class CompiledNetlist:
 
     def _propagate(self, state: SimulationState) -> None:
         values = state.values
-        for grp in self._schedule:
-            args = [values[idx] for idx in grp.in_idx]
+        batch = values.shape[1]
+        scratch = self._scratch.get(batch)
+        if scratch is None:
+            scratch = [
+                tuple(
+                    np.empty((grp.out_idx.size, batch), dtype=bool)
+                    for _ in grp.in_idx
+                )
+                for grp in self._schedule
+            ]
+            if len(self._scratch) >= 4:  # bound the cache across batch sizes
+                self._scratch.pop(next(iter(self._scratch)))
+            self._scratch[batch] = scratch
+        for grp, bufs in zip(self._schedule, scratch):
+            args = [
+                np.take(values, idx, axis=0, out=buf)
+                for idx, buf in zip(grp.in_idx, bufs)
+            ]
             values[grp.out_idx] = grp.function(*args)
