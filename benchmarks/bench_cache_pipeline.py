@@ -1,0 +1,77 @@
+"""Bench: the content-addressed trace cache, cold vs warm.
+
+Three timed phases of the same ``ed`` campaign:
+
+* **nocache** — the collector runs directly (cache explicitly off);
+  the pre-cache baseline every run used to pay.
+* **cold** — first run against an empty cache: generation plus the
+  v2 store write.  Must stay within noise of *nocache*.
+* **warm** — second run: a pure cache hit served as a read-only
+  memmap, which is where the ≥5× (in practice orders of magnitude)
+  win lives.
+
+All three phases must return bit-identical traces — the cache is a
+pure transport, never a source of numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import record_timing
+
+from repro.experiments.campaign import get_or_generate_traces
+from repro.io.cache import TraceCache
+
+CAMPAIGN = dict(
+    n_traces=96,
+    batch=16,
+    receivers=("sensor",),
+    rng_role="bench/cache",
+)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_cache_cold_vs_warm(chip, sim_scenario, tmp_path):
+    cache = TraceCache(tmp_path / "cache")
+
+    t_nocache, direct = _timed(
+        lambda: get_or_generate_traces(
+            chip, sim_scenario, "ed", cache=False, **CAMPAIGN
+        )
+    )
+    t_cold, cold = _timed(
+        lambda: get_or_generate_traces(
+            chip, sim_scenario, "ed", cache=cache, **CAMPAIGN
+        )
+    )
+    t_warm, warm = _timed(
+        lambda: get_or_generate_traces(
+            chip, sim_scenario, "ed", cache=cache, **CAMPAIGN
+        )
+    )
+
+    assert cache.stats.puts == 1 and cache.stats.hits == 1
+    assert np.array_equal(direct["sensor"], cold["sensor"])
+    assert np.array_equal(direct["sensor"], np.asarray(warm["sensor"]))
+
+    record_timing("cache_pipeline_nocache", t_nocache)
+    record_timing("cache_pipeline_cold", t_cold, cache_mb=round(
+        cache.size_bytes() / 1e6, 3))
+    record_timing(
+        "cache_pipeline_warm",
+        t_warm,
+        speedup_vs_cold=round(t_cold / max(t_warm, 1e-9), 1),
+    )
+
+    # Acceptance: warm >= 5x faster than cold; cold within noise of the
+    # uncached baseline (5% + a fixed slack for fs jitter on small runs).
+    assert t_warm * 5.0 <= t_cold, (t_warm, t_cold)
+    assert t_cold <= 1.05 * t_nocache + 0.15, (t_cold, t_nocache)

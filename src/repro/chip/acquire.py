@@ -14,7 +14,7 @@ call gives you what the scope stored for one campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, lru_cache
 
 import numpy as np
 
@@ -123,6 +123,21 @@ class AcquisitionResult:
     def time(self) -> np.ndarray:
         """Sample time axis [s] (built once, cached on the instance)."""
         return np.arange(self.n_samples) / self.fs
+
+
+@lru_cache(maxsize=8)
+def acquisition_engine(chip: Chip, scenario: Scenario) -> "AcquisitionEngine":
+    """Memoised :class:`AcquisitionEngine` for (chip, scenario).
+
+    Engine construction folds the per-cell coupling/charge weights for
+    every receiver — work that is identical for every campaign on the
+    same chip and scenario, so the collectors in
+    :mod:`repro.experiments.campaign` all funnel through this cache.
+    The engine itself is stateless across :meth:`~AcquisitionEngine.
+    acquire` calls (each derives fresh RNG streams), so sharing one
+    instance is observationally identical to building it per campaign.
+    """
+    return AcquisitionEngine(chip, scenario)
 
 
 class AcquisitionEngine:

@@ -17,9 +17,13 @@ mapping to the paper:
 
 from repro.experiments.campaign import (
     DEFAULT_KEY,
+    TRACE_COLLECTORS,
     calibrated,
     collect_ed_traces,
+    collect_raw_records,
     collect_spectral_record,
+    get_or_fit_detector,
+    get_or_generate_traces,
     shared_chip,
 )
 from repro.experiments.parallel import (
@@ -55,9 +59,13 @@ from repro.experiments.leakage import (
 
 __all__ = [
     "DEFAULT_KEY",
+    "TRACE_COLLECTORS",
     "calibrated",
     "collect_ed_traces",
+    "collect_raw_records",
     "collect_spectral_record",
+    "get_or_fit_detector",
+    "get_or_generate_traces",
     "shared_chip",
     "CampaignSpec",
     "campaign_spec",

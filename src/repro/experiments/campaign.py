@@ -13,9 +13,21 @@ engine with the two standard campaign styles:
   (Fig. 6e) only appears because of that.
 * :func:`collect_spectral_record` — one long continuous record for FFT
   analysis.
+* :func:`collect_raw_records` — undecimated full-bench records (the
+  SNR experiment's view).
+
+:func:`get_or_generate_traces` is the shared entry point every driver
+funnels through: it canonicalises the collector call into a
+:class:`~repro.io.cache.PipelineKey` and serves the traces from the
+content-addressed disk cache (``REPRO_CACHE_DIR``) when one is
+enabled, so two drivers — or two whole experiment suites — requesting
+the same (seed, scenario, trojan-set, receiver) bundle only ever pay
+for one generation pass.
 """
 
 from __future__ import annotations
+
+import inspect
 
 from functools import lru_cache
 
@@ -27,10 +39,14 @@ from repro.chip.acquire import (
     AcquisitionEngine,
     EncryptionWorkload,
     IdleWorkload,
+    acquisition_engine,
 )
 from repro.chip.chip import ALL_TROJANS, Chip
 from repro.chip.config import ChipConfig
 from repro.chip.scenario import Scenario
+from repro.errors import ExperimentError
+from repro.io.cache import PipelineKey, TraceCache, configured_cache
+from repro.io.store import TraceBundle
 
 #: The fixed secret key all campaigns encrypt under.
 DEFAULT_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
@@ -107,7 +123,7 @@ def collect_ed_traces(
     window = ED_PERIOD * spc
     windows_per_col = -(-n_traces // batch) + WARMUP_WINDOWS
     n_cycles = windows_per_col * ED_PERIOD
-    engine = AcquisitionEngine(chip, scenario)
+    engine = acquisition_engine(chip, scenario)
     workload = EncryptionWorkload(chip.aes, key, period=ED_PERIOD)
     result = engine.acquire(
         workload,
@@ -154,7 +170,7 @@ def collect_attack_traces(
     window = ED_PERIOD * spc
     windows_per_col = -(-n_traces // batch) + WARMUP_WINDOWS
     n_cycles = windows_per_col * ED_PERIOD
-    engine = AcquisitionEngine(chip, scenario)
+    engine = acquisition_engine(chip, scenario)
     workload = EncryptionWorkload(chip.aes, key, period=ED_PERIOD)
     result = engine.acquire(
         workload,
@@ -201,7 +217,7 @@ def collect_spectral_record(
     drivers analyse the noise-free signal path instead (the noisy
     variant remains available for ablations).
     """
-    engine = AcquisitionEngine(chip, scenario)
+    engine = acquisition_engine(chip, scenario)
     workload = (
         EncryptionWorkload(chip.aes, key, period=SPECTRAL_PERIOD)
         if encrypting
@@ -218,3 +234,186 @@ def collect_spectral_record(
         include_noise=include_noise,
     )
     return {name: result.traces[name] for name in receivers}
+
+
+def collect_raw_records(
+    chip: Chip,
+    scenario: Scenario,
+    n_cycles: int,
+    batch: int = 8,
+    encrypting: bool = True,
+    trojan_enables: tuple[str, ...] = (),
+    receivers: tuple[str, ...] | None = None,
+    rng_role: str = "raw",
+    key: bytes = DEFAULT_KEY,
+    period: int = ED_PERIOD,
+    include_noise: bool = True,
+) -> dict[str, np.ndarray]:
+    """Full-rate continuous records, ``{receiver: (batch, samples)}``.
+
+    The undecimated, unsegmented view the SNR experiment measures:
+    either back-to-back encryptions (*encrypting*) or the idle noise
+    record.  *receivers* defaults to all of the chip's receivers.
+    """
+    engine = acquisition_engine(chip, scenario)
+    workload = (
+        EncryptionWorkload(chip.aes, key, period=period)
+        if encrypting
+        else IdleWorkload()
+    )
+    result = engine.acquire(
+        workload,
+        n_cycles=n_cycles,
+        batch=batch,
+        trojan_enables=trojan_enables,
+        receivers=receivers,
+        rng_role=rng_role,
+        include_noise=include_noise,
+    )
+    names = receivers if receivers is not None else tuple(chip.receivers)
+    return {name: result.traces[name] for name in names}
+
+
+#: Collector registry of :func:`get_or_generate_traces` — every entry
+#: returns ``{receiver: 2-D trace matrix}`` deterministically from
+#: (chip, scenario, params).
+TRACE_COLLECTORS = {
+    "ed": collect_ed_traces,
+    "spectral": collect_spectral_record,
+    "raw": collect_raw_records,
+}
+
+
+def campaign_pipeline_key(
+    chip: Chip, scenario: Scenario, kind: str, params: dict
+) -> PipelineKey:
+    """Canonical cache key of one collector call.
+
+    Parameter defaults are bound before hashing, so spelling a default
+    out explicitly (``batch=64``) addresses the same cache entry as
+    omitting it.
+    """
+    collector = TRACE_COLLECTORS.get(kind)
+    if collector is None:
+        raise ExperimentError(
+            f"unknown campaign kind {kind!r}; expected one of "
+            f"{tuple(TRACE_COLLECTORS)}"
+        )
+    bound = inspect.signature(collector).bind(None, None, **params)
+    bound.apply_defaults()
+    full = dict(bound.arguments)
+    full.pop("chip")
+    full.pop("scenario")
+    return PipelineKey.for_campaign(chip, scenario, kind, full)
+
+
+def _campaign_receivers(chip: Chip, kind: str, params: dict) -> tuple[str, ...]:
+    """Receiver names a collector call will return, defaults included."""
+    bound = inspect.signature(TRACE_COLLECTORS[kind]).bind(None, None, **params)
+    bound.apply_defaults()
+    receivers = bound.arguments.get("receivers")
+    return tuple(receivers) if receivers is not None else tuple(chip.receivers)
+
+
+def get_or_generate_traces(
+    chip: Chip,
+    scenario: Scenario,
+    kind: str,
+    cache: TraceCache | None | bool = None,
+    **params,
+) -> dict[str, np.ndarray]:
+    """Serve a trace campaign from the cache, generating it on a miss.
+
+    The shared entry point of every experiment driver (and of the
+    parallel campaign workers).  *kind* picks the collector from
+    :data:`TRACE_COLLECTORS`; *params* are its keyword arguments.
+
+    *cache* resolves to the ``REPRO_CACHE_DIR`` environment cache when
+    ``None``; pass a :class:`~repro.io.cache.TraceCache` to use a
+    specific store, or ``False`` to force regeneration.  With no cache
+    the collector runs directly — same results, no disk traffic.
+
+    Cache hits return **read-only memmapped** arrays bit-identical to
+    what the collector would produce; misses run the collector once
+    and persist one bundle per receiver (atomic renames, so concurrent
+    workers sharing the cache directory race benignly).
+    """
+    if kind not in TRACE_COLLECTORS:
+        raise ExperimentError(
+            f"unknown campaign kind {kind!r}; expected one of "
+            f"{tuple(TRACE_COLLECTORS)}"
+        )
+    if cache is None:
+        cache = configured_cache()
+    elif cache is False:
+        cache = None
+    if cache is None:
+        return TRACE_COLLECTORS[kind](chip, scenario, **params)
+
+    key = campaign_pipeline_key(chip, scenario, kind, params)
+    receivers = _campaign_receivers(chip, kind, params)
+    cached: dict[str, np.ndarray] = {}
+    for name in receivers:
+        bundle = cache.get_bundle(key, receiver=name)
+        if bundle is None:
+            break
+        cached[name] = bundle.traces
+    if len(cached) == len(receivers):
+        return cached
+
+    fresh = TRACE_COLLECTORS[kind](chip, scenario, **params)
+    trojan_enables = tuple(params.get("trojan_enables", ()))
+    for name, traces in fresh.items():
+        cache.put_bundle(
+            key,
+            TraceBundle(
+                traces=traces,
+                receiver=name,
+                fs=chip.config.fs,
+                chip_seed=chip.seed,
+                scenario=scenario.name,
+                trojan_enables=trojan_enables,
+                extras={"kind": kind, "pipeline_key": key.digest()},
+            ),
+            receiver=name,
+        )
+    return fresh
+
+
+def get_or_fit_detector(
+    chip: Chip,
+    scenario: Scenario,
+    kind: str,
+    params: dict,
+    golden_traces: np.ndarray,
+    cache: TraceCache | None | bool = None,
+    **detector_kwargs,
+):
+    """Fitted :class:`~repro.analysis.euclidean.EuclideanDetector`,
+    cached as a derived artifact of the golden campaign.
+
+    The golden fingerprint, Eq. (1) threshold and bootstrap floor are
+    pure functions of the golden trace campaign and the detector
+    hyper-parameters, so they are addressed by the campaign's
+    :class:`PipelineKey` derived with the ``detector`` label — the
+    paper's "golden fingerprint fitted once, reused across every
+    suspect evaluation" made literal.
+    """
+    from repro.analysis.euclidean import EuclideanDetector
+
+    if cache is None:
+        cache = configured_cache()
+    elif cache is False:
+        cache = None
+    if cache is None:
+        return EuclideanDetector(**detector_kwargs).fit(golden_traces)
+
+    key = campaign_pipeline_key(chip, scenario, kind, params).derived(
+        "detector", **detector_kwargs
+    )
+    state = cache.get_json(key)
+    if state is not None:
+        return EuclideanDetector.from_state(state)
+    detector = EuclideanDetector(**detector_kwargs).fit(golden_traces)
+    cache.put_json(key, detector.state_dict())
+    return detector

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.analysis.euclidean import DistanceReport, EuclideanDetector
+from repro.analysis.euclidean import DistanceReport
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
+from repro.experiments.campaign import get_or_fit_detector
 from repro.experiments.parallel import campaign_spec, run_campaigns
+from repro.io.cache import cache_stats
 
 #: Paper's simulated EDs (on-chip sensor).
 PAPER_EUCLIDEAN = {
@@ -36,6 +38,8 @@ class EuclideanExperimentResult:
     threshold: float
     separations: dict[str, float]
     reports: dict[str, DistanceReport] = field(default_factory=dict)
+    #: Trace-cache hit/miss counters at report time (None = cache off).
+    cache: dict | None = field(default=None, repr=False)
 
     def format(self) -> str:
         """Render with the paper's values alongside."""
@@ -53,6 +57,8 @@ class EuclideanExperimentResult:
                 else ""
             )
             lines.append(f"  {name:<9} ED = {sep:.3f}{extra}{ref_txt}")
+        if self.cache is not None:
+            lines.append(f"  trace cache: {self.cache}")
         return "\n".join(lines)
 
 
@@ -96,7 +102,9 @@ def run_euclidean_experiment(
         for name in trojans
     ]
     traces = run_campaigns(specs, workers=workers)
-    detector = EuclideanDetector().fit(traces["golden"][receiver])
+    detector = get_or_fit_detector(
+        chip, scenario, "ed", dict(specs[0].params), traces["golden"][receiver]
+    )
     separations: dict[str, float] = {}
     reports: dict[str, DistanceReport] = {}
     for name in trojans:
@@ -109,4 +117,5 @@ def run_euclidean_experiment(
         threshold=detector.threshold,
         separations=separations,
         reports=reports,
+        cache=cache_stats(),
     )

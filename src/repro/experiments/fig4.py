@@ -16,12 +16,12 @@ from dataclasses import dataclass
 from repro.analysis.spectral import (
     Spectrum,
     SpectralComparison,
-    amplitude_spectrum,
+    amplitude_spectra,
     compare_spectra,
 )
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
-from repro.experiments.campaign import collect_spectral_record
+from repro.experiments.campaign import get_or_generate_traces
 
 
 @dataclass
@@ -84,20 +84,28 @@ def run_a2_spectrum(
     the paper's figure, which shows the clock spot and its doubled
     harmonic.
     """
-    golden_rec = collect_spectral_record(
-        chip, scenario, n_cycles, receivers=(receiver,), rng_role="a2/golden"
-    )[receiver]
-    trig_rec = collect_spectral_record(
+    golden_rec = get_or_generate_traces(
         chip,
         scenario,
-        n_cycles,
+        "spectral",
+        n_cycles=n_cycles,
+        receivers=(receiver,),
+        rng_role="a2/golden",
+    )[receiver]
+    trig_rec = get_or_generate_traces(
+        chip,
+        scenario,
+        "spectral",
+        n_cycles=n_cycles,
         trojan_enables=("a2",),
         receivers=(receiver,),
         rng_role="a2/trig",
     )[receiver]
     fs = chip.config.fs
-    golden = amplitude_spectrum(golden_rec, fs).band(*band)
-    triggered = amplitude_spectrum(trig_rec, fs).band(*band)
+    # Both records transform in one batched rfft dispatch.
+    golden_full, trig_full = amplitude_spectra([golden_rec, trig_rec], fs)
+    golden = golden_full.band(*band)
+    triggered = trig_full.band(*band)
     # Pump strokes fire once per trigger-divider period, putting the
     # activation comb's fundamental at f_clk / N — off every original
     # spectral spot for the default mod-3 divider (the T != g case).

@@ -18,17 +18,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.euclidean import EuclideanDetector
 from repro.analysis.histogram import (
     DistanceHistogram,
     distance_histogram,
     histogram_overlap,
     peak_separation,
 )
-from repro.analysis.spectral import Spectrum, amplitude_spectrum, band_energy
+from repro.analysis.spectral import Spectrum, amplitude_spectra, band_energy
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
+from repro.experiments.campaign import (
+    campaign_pipeline_key,
+    get_or_fit_detector,
+)
 from repro.experiments.parallel import campaign_spec, run_campaigns
+from repro.io.cache import configured_cache
 
 DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
 
@@ -112,7 +116,9 @@ def run_fig6_histograms(
     ]
     traces = run_campaigns(specs, workers=workers)
     golden = traces["golden"][receiver]
-    detector = EuclideanDetector().fit(golden)
+    detector = get_or_fit_detector(
+        chip, scenario, "ed", dict(specs[0].params), golden
+    )
     golden_d = detector.golden_distances
     assert golden_d is not None
     panels: dict[str, Fig6Panel] = {}
@@ -195,14 +201,47 @@ def run_fig6_spectra(
         )
         for name in trojans
     ]
-    records = run_campaigns(specs, workers=workers)
     fs = chip.config.fs
-    golden = amplitude_spectrum(records["golden"][receiver], fs)
+    # The figure's averaged spectra are a derived artifact of the
+    # golden campaign: on a warm cache they load directly and the
+    # acquisition campaigns never run at all.
+    cache = configured_cache()
+    spectra_key = campaign_pipeline_key(
+        chip, scenario, "spectral", dict(specs[0].params)
+    ).derived("fig6-spectra", trojans=list(trojans))
+    spectra: list[Spectrum] | None = None
+    if cache is not None:
+        stored = cache.get_json(spectra_key)
+        if stored is not None:
+            freqs = np.asarray(stored["freqs"], dtype=np.float64)
+            spectra = [
+                Spectrum(
+                    freqs=freqs,
+                    amplitude=np.asarray(amp, dtype=np.float64),
+                )
+                for amp in stored["amplitudes"]
+            ]
+    if spectra is None:
+        records = run_campaigns(specs, workers=workers)
+        # Golden plus every Trojan record in one batched rfft dispatch.
+        spectra = amplitude_spectra(
+            [records["golden"][receiver]]
+            + [records[name][receiver] for name in trojans],
+            fs,
+        )
+        if cache is not None:
+            cache.put_json(
+                spectra_key,
+                {
+                    "freqs": spectra[0].freqs,
+                    "amplitudes": [s.amplitude for s in spectra],
+                },
+            )
+    golden = spectra[0]
     g_low = band_energy(golden, 1e5, low_band_hz)
     g_tot = band_energy(golden, 1e5, fs / 2)
     result = Fig6SpectraResult()
-    for name in trojans:
-        spec = amplitude_spectrum(records[name][receiver], fs)
+    for name, spec in zip(trojans, spectra[1:]):
         result.panels[name] = Fig6SpectrumPanel(
             trojan=name,
             golden=golden,

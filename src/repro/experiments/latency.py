@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
 from repro.errors import ExperimentError
-from repro.experiments.campaign import collect_ed_traces
+from repro.experiments.campaign import get_or_generate_traces
 
 DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
 
@@ -76,10 +76,11 @@ def run_detection_latency(
         scenario,
         EvaluatorConfig(n_reference=n_reference, spectral_cycles=512),
     )
-    golden_stream = collect_ed_traces(
+    golden_stream = get_or_generate_traces(
         chip,
         scenario,
-        golden_prefix,
+        "ed",
+        n_traces=golden_prefix,
         receivers=(evaluator.config.receiver,),
         rng_role="latency/golden",
     )[evaluator.config.receiver]
@@ -90,10 +91,11 @@ def run_detection_latency(
         monitor = RuntimeMonitor(evaluator, window=window, confirm=confirm)
         pre_events = monitor.observe_stream(golden_stream)
         false_alarms += len(pre_events)
-        dirty = collect_ed_traces(
+        dirty = get_or_generate_traces(
             chip,
             scenario,
-            horizon,
+            "ed",
+            n_traces=horizon,
             trojan_enables=(trojan,),
             receivers=(evaluator.config.receiver,),
             rng_role=f"latency/{trojan}",

@@ -33,16 +33,16 @@ from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
 from repro.errors import ExperimentError
 from repro.experiments.campaign import (
-    collect_ed_traces,
-    collect_spectral_record,
+    TRACE_COLLECTORS,
+    get_or_generate_traces,
     shared_chip,
 )
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
-#: Campaign kinds understood by the runner.
-CAMPAIGN_KINDS = ("ed", "spectral")
+#: Campaign kinds understood by the runner (the collector registry).
+CAMPAIGN_KINDS = tuple(TRACE_COLLECTORS)
 
 #: Chips registered by callers, keyed like :func:`shared_chip`.  Forked
 #: workers inherit this (copy-on-write), so a registered chip is never
@@ -55,9 +55,9 @@ class CampaignSpec:
     """One acquisition campaign, fully described by picklable values.
 
     ``params`` are keyword arguments for the collector chosen by
-    ``kind`` (:func:`collect_ed_traces` or
-    :func:`collect_spectral_record`), stored as a sorted item tuple so
-    specs are hashable and order-insensitive.
+    ``kind`` (an entry of :data:`repro.experiments.campaign.
+    TRACE_COLLECTORS`), stored as a sorted item tuple so specs are
+    hashable and order-insensitive.
     """
 
     name: str
@@ -133,14 +133,19 @@ def _resolve_chip(spec: CampaignSpec) -> Chip:
 
 
 def _run_one(spec: CampaignSpec) -> Any:
-    """Execute one campaign (also the worker-process entry point)."""
+    """Execute one campaign (also the worker-process entry point).
+
+    Routed through :func:`~repro.experiments.campaign.
+    get_or_generate_traces`, so when ``REPRO_CACHE_DIR`` is set every
+    worker consults — and, on a miss, populates — the shared
+    content-addressed cache.  Writes are atomic renames, so concurrent
+    workers generating the same bundle race benignly (last writer
+    wins with identical bytes).
+    """
     chip = _resolve_chip(spec)
-    kwargs = dict(spec.params)
-    if spec.kind == "ed":
-        return collect_ed_traces(chip, spec.scenario, **kwargs)
-    if spec.kind == "spectral":
-        return collect_spectral_record(chip, spec.scenario, **kwargs)
-    raise ExperimentError(f"unknown campaign kind {spec.kind!r}")
+    return get_or_generate_traces(
+        chip, spec.scenario, spec.kind, **dict(spec.params)
+    )
 
 
 def run_campaigns(

@@ -10,17 +10,13 @@ numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.chip.acquire import (
-    AcquisitionEngine,
-    EncryptionWorkload,
-    IdleWorkload,
-)
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
 from repro.em.snr import SnrResult, measure_snr
-from repro.experiments.campaign import DEFAULT_KEY, ED_PERIOD
+from repro.experiments.campaign import DEFAULT_KEY, get_or_generate_traces
+from repro.io.cache import cache_stats
 
 #: Paper values for side-by-side reporting (dB).
 PAPER_SNR = {
@@ -35,6 +31,8 @@ class SnrExperimentResult:
 
     scenario: str
     per_receiver: dict[str, SnrResult]
+    #: Trace-cache hit/miss counters at report time (None = cache off).
+    cache: dict | None = field(default=None, repr=False)
 
     def format(self) -> str:
         """Render with the paper's values alongside."""
@@ -48,6 +46,8 @@ class SnrExperimentResult:
                 f"(signal {res.signal_rms:.3e} V, noise {res.noise_rms:.3e} V)"
                 f"{ref_txt}"
             )
+        if self.cache is not None:
+            lines.append(f"  trace cache: {self.cache}")
         return "\n".join(lines)
 
 
@@ -58,22 +58,38 @@ def run_snr_experiment(
     batch: int = 8,
     key: bytes = DEFAULT_KEY,
 ) -> SnrExperimentResult:
-    """Measure both receivers' SNR under *scenario*."""
-    engine = AcquisitionEngine(chip, scenario)
-    signal = engine.acquire(
-        EncryptionWorkload(chip.aes, key, period=ED_PERIOD),
+    """Measure both receivers' SNR under *scenario*.
+
+    Both records route through the shared cache entry point, so a
+    repeated run (or another driver requesting the same records)
+    serves them from disk instead of re-simulating.
+    """
+    signal = get_or_generate_traces(
+        chip,
+        scenario,
+        "raw",
         n_cycles=n_cycles,
         batch=batch,
+        encrypting=True,
+        key=key,
         rng_role="snr/signal",
     )
-    noise = engine.acquire(
-        IdleWorkload(),
+    noise = get_or_generate_traces(
+        chip,
+        scenario,
+        "raw",
         n_cycles=n_cycles,
         batch=batch,
+        encrypting=False,
+        key=key,
         rng_role="snr/noise",
     )
     per_receiver = {
-        name: measure_snr(signal.traces[name], noise.traces[name])
+        name: measure_snr(signal[name], noise[name])
         for name in chip.receivers
     }
-    return SnrExperimentResult(scenario=scenario.name, per_receiver=per_receiver)
+    return SnrExperimentResult(
+        scenario=scenario.name,
+        per_receiver=per_receiver,
+        cache=cache_stats(),
+    )

@@ -8,9 +8,10 @@ as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.chip.chip import ALL_TROJANS, Chip
+from repro.io.cache import PipelineKey, canonical_json, configured_cache
 from repro.logic.stats import NetlistStats
 
 #: The paper's Table I, for side-by-side reporting.
@@ -36,10 +37,14 @@ class Table1Row:
 
 @dataclass
 class Table1Result:
-    """The reproduced table plus raw stats."""
+    """The reproduced table plus raw stats.
+
+    ``stats`` is None when the rows were served from the artifact
+    cache — the full netlist walk only runs on a miss.
+    """
 
     rows: list[Table1Row]
-    stats: NetlistStats
+    stats: NetlistStats | None = None
 
     def format(self) -> str:
         """Render in the paper's layout."""
@@ -53,8 +58,30 @@ class Table1Result:
         return "\n".join(lines)
 
 
+def _table1_key(chip: Chip) -> PipelineKey:
+    """The table is a pure function of the chip build alone."""
+    return PipelineKey(
+        kind="table1/rows",
+        chip_seed=chip.seed,
+        chip_trojans=tuple(chip.trojans),
+        chip_config=canonical_json(chip.config),
+        scenario=canonical_json(None),
+        params=canonical_json({}),
+    )
+
+
 def run_table1(chip: Chip) -> Table1Result:
-    """Compute Table I from the chip's netlist."""
+    """Compute Table I from the chip's netlist.
+
+    Gate counting walks the full netlist, so the finished rows are
+    cached as a derived JSON artifact when ``REPRO_CACHE_DIR`` is set;
+    hits skip the walk (``stats`` is None in that case).
+    """
+    cache = configured_cache()
+    if cache is not None:
+        stored = cache.get_json(_table1_key(chip))
+        if stored is not None:
+            return Table1Result(rows=[Table1Row(**row) for row in stored])
     stats = chip.stats()
     rows = [
         Table1Row(
@@ -83,4 +110,6 @@ def run_table1(chip: Chip) -> Table1Result:
                     percentage=stats.gate_percentage(name, "aes"),
                 )
             )
+    if cache is not None:
+        cache.put_json(_table1_key(chip), [asdict(row) for row in rows])
     return Table1Result(rows=rows, stats=stats)

@@ -24,8 +24,8 @@ from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario, simulation_scenario
 from repro.errors import AnalysisError
 from repro.experiments.campaign import (
-    collect_ed_traces,
-    collect_spectral_record,
+    get_or_fit_detector,
+    get_or_generate_traces,
 )
 from repro.framework.report import TrustReport, Verdict, combine_verdicts
 
@@ -72,20 +72,27 @@ class RuntimeTrustEvaluator:
         """
         scenario = scenario or simulation_scenario()
         config = config or EvaluatorConfig()
-        golden = collect_ed_traces(
-            chip,
-            scenario,
-            config.n_reference,
+        ed_params = dict(
+            n_traces=config.n_reference,
             receivers=(config.receiver,),
             rng_role="framework/train-ed",
-        )[config.receiver]
-        detector = EuclideanDetector(n_components=config.pca_components).fit(
-            golden
         )
-        record = collect_spectral_record(
+        golden = get_or_generate_traces(chip, scenario, "ed", **ed_params)[
+            config.receiver
+        ]
+        detector = get_or_fit_detector(
             chip,
             scenario,
-            config.spectral_cycles,
+            "ed",
+            ed_params,
+            golden,
+            n_components=config.pca_components,
+        )
+        record = get_or_generate_traces(
+            chip,
+            scenario,
+            "spectral",
+            n_cycles=config.spectral_cycles,
             receivers=(config.receiver,),
             rng_role="framework/train-spec",
         )[config.receiver]

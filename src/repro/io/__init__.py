@@ -1,22 +1,47 @@
 """Persistence: trace campaigns and experiment results on disk.
 
 Long campaigns are worth keeping — a silicon-scenario Fig. 6 run takes
-minutes — so :mod:`repro.io.store` saves trace sets as compressed
-``.npz`` bundles with a JSON manifest (scenario, chip seed, Trojan
-enables) and reloads them with integrity checks.
+minutes — so :mod:`repro.io.store` saves trace sets as bundles with a
+JSON manifest (scenario, chip seed, Trojan enables) and reloads them
+with integrity checks.  Two formats coexist: the legacy compressed
+``.npz`` (v1) and the default raw ``.npy`` + JSON sidecar (v2), whose
+payload loads as a zero-copy read-only memmap.
+
+:mod:`repro.io.cache` layers a content-addressed, LRU-bounded disk
+cache on top (``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MB``), addressing
+trace bundles and derived artifacts by a :class:`~repro.io.cache.
+PipelineKey` hash of everything that determines them.
 """
 
+from repro.io.cache import (
+    CacheStats,
+    PipelineKey,
+    TraceCache,
+    cache_stats,
+    canonical_json,
+    configured_cache,
+)
 from repro.io.store import (
+    STORE_FORMAT_VERSION,
     TraceBundle,
     load_traces,
+    resolve_store_path,
     save_traces,
     load_json_report,
     save_json_report,
 )
 
 __all__ = [
+    "CacheStats",
+    "PipelineKey",
+    "STORE_FORMAT_VERSION",
     "TraceBundle",
+    "TraceCache",
+    "cache_stats",
+    "canonical_json",
+    "configured_cache",
     "load_traces",
+    "resolve_store_path",
     "save_traces",
     "load_json_report",
     "save_json_report",

@@ -123,3 +123,70 @@ def test_separation_is_mean_shift(rng):
     det = EuclideanDetector().fit(golden)
     # Separation of the golden set itself is essentially zero.
     assert det.separation(golden) < 1e-9
+
+
+# -- vectorised bootstrap ------------------------------------------------
+
+
+def test_bootstrap_orders_match_sequential_permutations():
+    """``permuted`` on a tiled index matrix reproduces the exact
+    permutation stream the old per-draw loop consumed."""
+    from repro.analysis.euclidean import _bootstrap_orders
+
+    orders = _bootstrap_orders(np.random.default_rng(0), 100, 32)
+    rng = np.random.default_rng(0)
+    expected = np.stack([rng.permutation(100) for _ in range(32)])
+    assert np.array_equal(orders, expected)
+
+
+def test_split_half_floors_match_loop_reference(rng):
+    from repro.analysis.euclidean import (
+        _bootstrap_orders,
+        _split_half_floors,
+        _split_half_floors_loop,
+    )
+
+    feats = normalize_traces(_golden(rng))
+    orders = _bootstrap_orders(np.random.default_rng(7), feats.shape[0], 32)
+    fast = _split_half_floors(feats, orders)
+    slow = _split_half_floors_loop(feats, orders)
+    # gemm vs per-row mean differ only in summation order: last-ulp.
+    np.testing.assert_allclose(fast, slow, rtol=0, atol=1e-12)
+
+
+def test_fit_threshold_bit_identical_to_loop_reference(rng):
+    """Eq. (1)'s threshold never touches the bootstrap — exact match —
+    and the vectorised floor agrees with the loop to float precision."""
+    from repro.analysis.euclidean import (
+        _bootstrap_orders,
+        _split_half_floors_loop,
+    )
+
+    golden = _golden(rng)
+    det = EuclideanDetector(seed=3).fit(golden)
+    feats = normalize_traces(golden)
+    assert det.threshold == pairwise_max_distance(feats)
+    loop_orders = _bootstrap_orders(
+        np.random.default_rng(3), feats.shape[0], det.n_bootstrap
+    )
+    loop_floor = det.FLOOR_FACTOR * float(
+        _split_half_floors_loop(feats, loop_orders).max()
+    )
+    assert det.separation_floor == pytest.approx(loop_floor, abs=1e-12)
+
+
+def test_state_dict_roundtrip_bit_identical(rng):
+    golden = _golden(rng)
+    for n_components in (None, 5):
+        det = EuclideanDetector(n_components=n_components).fit(golden)
+        clone = EuclideanDetector.from_state(det.state_dict())
+        assert clone.threshold == det.threshold
+        assert clone.separation_floor == det.separation_floor
+        assert np.array_equal(clone._fingerprint, det._fingerprint)
+        suspect = _golden(rng, n=20)
+        assert np.array_equal(clone.distances(suspect), det.distances(suspect))
+
+
+def test_state_dict_requires_fit():
+    with pytest.raises(AnalysisError):
+        EuclideanDetector().state_dict()

@@ -110,3 +110,44 @@ def test_amplitude_spectrum_validation():
 def test_rect_window_supported():
     spec = amplitude_spectrum(_tone(50e6), FS, window="rect")
     assert spec.amplitude.max() == pytest.approx(1.0, rel=0.1)
+
+
+# -- batched spectra -----------------------------------------------------
+
+
+def test_amplitude_spectra_identical_to_single_calls(rng):
+    from repro.analysis.spectral import amplitude_spectra
+
+    sets = [
+        np.stack([_tone(50e6), _tone(120e6, amp=0.3)]),
+        _tone(75e6)[None, :] + 0.01 * rng.normal(size=(4, 16384)),
+        _tone(10e6)[None, :],
+    ]
+    batched = amplitude_spectra(sets, FS)
+    for traces, spec in zip(sets, batched):
+        single = amplitude_spectrum(traces, FS)
+        assert np.array_equal(spec.freqs, single.freqs)
+        assert np.array_equal(spec.amplitude, single.amplitude)
+
+
+def test_amplitude_spectra_no_average_keeps_rows(rng):
+    from repro.analysis.spectral import amplitude_spectra
+
+    sets = [rng.normal(size=(3, 1024)), rng.normal(size=(2, 1024))]
+    batched = amplitude_spectra(sets, FS, average=False)
+    assert batched[0].amplitude.shape[0] == 3
+    assert batched[1].amplitude.shape[0] == 2
+    single = amplitude_spectrum(sets[1], FS, average=False)
+    assert np.array_equal(batched[1].amplitude, single.amplitude)
+
+
+def test_amplitude_spectra_validation(rng):
+    from repro.analysis.spectral import amplitude_spectra
+
+    assert amplitude_spectra([], FS) == []
+    with pytest.raises(AnalysisError):
+        amplitude_spectra([np.zeros((2, 4))], FS)
+    with pytest.raises(AnalysisError):
+        amplitude_spectra(
+            [rng.normal(size=(2, 64)), rng.normal(size=(2, 128))], FS
+        )

@@ -8,6 +8,7 @@ from repro.io import (
     TraceBundle,
     load_json_report,
     load_traces,
+    resolve_store_path,
     save_json_report,
     save_traces,
 )
@@ -87,3 +88,100 @@ def test_json_report_roundtrip(tmp_path):
 def test_json_report_rejects_exotic_types(tmp_path):
     with pytest.raises(TypeError):
         save_json_report({"x": object()}, tmp_path / "bad.json")
+
+
+# -- v2 format -----------------------------------------------------------
+
+
+def test_v2_roundtrip(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = save_traces(bundle, tmp_path / "campaign.npy")
+    assert path == tmp_path / "campaign.npy"
+    assert (tmp_path / "campaign.json").exists()
+    loaded = load_traces(path)
+    assert np.array_equal(loaded.traces, bundle.traces)
+    assert loaded.receiver == "sensor"
+    assert loaded.trojan_enables == ("trojan4",)
+    assert loaded.extras == {"note": "unit test"}
+    assert loaded.stored_digest == bundle.digest()
+
+
+def test_save_returns_real_path_for_suffixless_target(tmp_path, rng):
+    """The historical save/load mismatch: savez appended .npz silently."""
+    bundle = _bundle(rng)
+    requested = tmp_path / "campaign"
+    written = save_traces(bundle, requested)
+    assert written.exists()
+    assert written == resolve_store_path(requested)
+    # Loading via the *requested* path works for both formats.
+    assert np.array_equal(load_traces(requested).traces, bundle.traces)
+    v1 = save_traces(bundle, tmp_path / "legacy", fmt="v1")
+    assert v1.suffix == ".npz" and v1.exists()
+    assert np.array_equal(load_traces(tmp_path / "legacy").traces, bundle.traces)
+
+
+def test_v2_mmap_is_readonly_and_identical(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = save_traces(bundle, tmp_path / "campaign.npy")
+    loaded = load_traces(path, mmap=True)
+    assert isinstance(loaded.traces, np.memmap)
+    assert not loaded.traces.flags.writeable
+    with pytest.raises((ValueError, RuntimeError)):
+        loaded.traces[0, 0] = 0.0
+    assert np.array_equal(np.asarray(loaded.traces), bundle.traces)
+
+
+def test_v2_digest_checked_lazily(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = save_traces(bundle, tmp_path / "campaign.npy")
+    # Corrupt the payload but keep the sidecar manifest.
+    tampered = np.load(path).copy()
+    tampered[0, 0] += 1.0
+    np.save(path, tampered)
+    # Default v2 load is lazy: no eager digest streaming.
+    loaded = load_traces(path)
+    with pytest.raises(MeasurementError, match="digest"):
+        loaded.verify()
+    with pytest.raises(MeasurementError, match="digest"):
+        load_traces(path, verify=True)
+
+
+def test_v2_missing_sidecar_rejected(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = save_traces(bundle, tmp_path / "campaign.npy")
+    path.with_suffix(".json").unlink()
+    with pytest.raises(MeasurementError, match="sidecar"):
+        load_traces(path)
+
+
+def test_v2_extras_with_numpy_values(tmp_path, rng):
+    bundle = _bundle(rng)
+    bundle.extras = {
+        "snr_db": np.float64(30.5),
+        "count": np.int64(7),
+        "flag": np.bool_(True),
+        "taps": np.arange(4),
+    }
+    loaded = load_traces(save_traces(bundle, tmp_path / "campaign.npy"))
+    assert loaded.extras["snr_db"] == pytest.approx(30.5)
+    assert loaded.extras["count"] == 7
+    assert loaded.extras["flag"] is True
+    assert loaded.extras["taps"] == [0, 1, 2, 3]
+
+
+def test_v1_still_loads_and_verifies_eagerly(tmp_path, rng):
+    bundle = _bundle(rng)
+    path = save_traces(bundle, tmp_path / "campaign.npz")
+    assert path.suffix == ".npz"
+    loaded = load_traces(path)
+    assert np.array_equal(loaded.traces, bundle.traces)
+    assert loaded.verify() is loaded
+
+
+def test_resolve_store_path_rules():
+    assert resolve_store_path("a.npz") == resolve_store_path("a.npz", "v1")
+    assert str(resolve_store_path("a")) == "a.npy"
+    assert str(resolve_store_path("a", "v1")) == "a.npz"
+    assert str(resolve_store_path("a.npz", "v2")) == "a.npz.npy"
+    with pytest.raises(MeasurementError):
+        resolve_store_path("a", "v3")
