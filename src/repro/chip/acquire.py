@@ -18,12 +18,19 @@ from functools import cached_property, lru_cache
 
 import numpy as np
 
+from scipy import signal as _signal
+
 from repro.chip.chip import Chip, Receiver
 from repro.chip.scenario import Scenario
 from repro.crypto.encoding import random_blocks
 from repro.em.noise import thermal_noise_rms, white_noise
 from repro.errors import ExperimentError, MeasurementError
 from repro.logic.activity import ActivityAccumulator
+from repro.logic.simulator import (
+    PackedState,
+    resolve_backend,
+    unpack_bits,
+)
 from repro.power.pulse import (
     current_kernel,
     emf_kernel,
@@ -45,6 +52,31 @@ NOISE_BANDWIDTH = 1.8 * MHZ
 #: through the grid).  This rise/fall asymmetry is what puts odd
 #: harmonics — e.g. Trojan 1's 750 kHz AM fundamental — into the field.
 FALL_CURRENT_FRACTION = 0.35
+
+#: Column budget of one blocked activity fold: the engine buffers
+#: ``max(1, FOLD_BLOCK_COLS // batch)`` cycles of toggle data and folds
+#: them through a single GEMM, bounding the float32 weight block at
+#: roughly ``num_instances * FOLD_BLOCK_COLS * 4`` bytes (~36 MB on
+#: the reference chip).  Measured on the reference chip, 256 columns
+#: per fold beats 1024 by ~40 % per column (smaller resident block →
+#: better cache behaviour for both the weight build and the GEMM).
+FOLD_BLOCK_COLS = 256
+
+
+@lru_cache(maxsize=16)
+def _butter_lowpass(order: int, cutoff_frac: float):
+    """Shared Butterworth design, keyed on ``(order, cutoff_frac)``.
+
+    The probe-drift and coloured-noise paths redesign the identical
+    filter for every receiver of every campaign; the coefficients only
+    depend on the order and the normalised cutoff, so one design per
+    (order, cutoff) serves the whole process.  The returned arrays are
+    read-only — ``lfilter`` never mutates its coefficients.
+    """
+    b, a = _signal.butter(order, cutoff_frac)
+    b.flags.writeable = False
+    a.flags.writeable = False
+    return b, a
 
 
 class IdleWorkload:
@@ -173,6 +205,7 @@ class AcquisitionEngine:
         include_noise: bool = True,
         rng_role: str = "acquire",
         workload_role: str | None = None,
+        reference_fold: bool = False,
     ) -> AcquisitionResult:
         """Run *workload* for *n_cycles* and return receiver traces.
 
@@ -202,6 +235,18 @@ class AcquisitionEngine:
             *rng_role*; pass the same value across two campaigns to
             replay the identical plaintext sequence (the paper's
             golden-vs-Trojan spectra compare "the same operation").
+        reference_fold:
+            Run the retained pre-bit-slicing loop instead: bool
+            backend, per-cycle float64 activity fold.  Kept as the
+            numerical baseline the blocked float32 fold is benchmarked
+            and regression-tested against (agreement is ~1e-5 relative,
+            the float32 fold's rounding over ~35 k-term sums).
+
+        The cycle loop runs on the backend :func:`repro.logic.
+        simulator.resolve_backend` picks for *batch* (``packed`` from
+        64 up, overridable via ``REPRO_SIM_BACKEND``); both backends
+        share one blocked float32 fold and produce bit-identical
+        traces, toggles and recorded nets for the same RNG streams.
         """
         chip = self.chip
         cfg = chip.config
@@ -236,11 +281,15 @@ class AcquisitionEngine:
         wl0 = workload.inputs(0, batch)
         if wl0:
             first_inputs.update(wl0)
-        state = sim.reset(batch=batch, inputs=first_inputs)
+        backend = "bool" if reference_fold else resolve_backend(batch)
+        state = sim.reset(batch=batch, inputs=first_inputs, backend=backend)
 
         levels = sim.instance_levels
+        fold_dtype = np.float64 if reference_fold else np.float32
         accumulators = {
-            name: ActivityAccumulator(self._w_data[name], levels)
+            name: ActivityAccumulator(
+                self._w_data[name], levels, dtype=fold_dtype
+            )
             for name in names
         }
         acc_list = list(accumulators.values())
@@ -254,31 +303,16 @@ class AcquisitionEngine:
             [sim.net_index[net] for net in watch.values()], dtype=np.int64
         )
 
-        # Preallocated campaign buffers: clock-enable masks per cycle
-        # and one (cycles+1, nets, batch) block for all watched nets —
-        # each cycle is a single fancy-indexed gather, no list growth.
-        n_seq = sim.seq_instance_idx.size
-        clock_en = np.empty((n_cycles, n_seq, batch), dtype=bool)
-        rec_buf = np.empty(
-            (n_cycles + 1, watch_idx.size, batch), dtype=bool
+        run = self._run_cycles_reference if reference_fold else (
+            self._run_cycles_blocked
         )
-        if watch_idx.size:
-            rec_buf[0] = state.values[watch_idx]
-
-        for k in range(1, n_cycles + 1):
-            clock_en[k - 1] = sim.clock_enable_values(state)
-            toggles = sim.step(state, workload.inputs(k, batch))
-            rising = toggles & sim.output_values(state)
-            weighted = toggles * FALL_CURRENT_FRACTION + rising * (
-                1.0 - FALL_CURRENT_FRACTION
-            )
-            ActivityAccumulator.record_all(acc_list, weighted)
-            if watch_idx.size:
-                rec_buf[k] = state.values[watch_idx]
+        clock_en, rec_full = run(
+            state, workload, n_cycles, batch, acc_list, watch_idx
+        )
 
         n_samples = (n_cycles + 1) * cfg.samples_per_cycle
         rec_arrays = {
-            label: rec_buf[:, j] for j, label in enumerate(watch_labels)
+            label: rec_full[:, j] for j, label in enumerate(watch_labels)
         }
 
         traces: dict[str, np.ndarray] = {}
@@ -306,6 +340,147 @@ class AcquisitionEngine:
             samples_per_cycle=cfg.samples_per_cycle,
             recorded=public_recorded,
         )
+
+    # ------------------------------------------------------------------
+    def _run_cycles_blocked(
+        self,
+        state,
+        workload,
+        n_cycles: int,
+        batch: int,
+        acc_list: list[ActivityAccumulator],
+        watch_idx: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cycle loop with a blocked float32 activity fold.
+
+        Buffers up to ``FOLD_BLOCK_COLS // batch`` cycles of toggle
+        data, then folds the whole block through one stacked GEMM.  The
+        bool and packed backends fill byte-for-byte identical weight
+        blocks (``toggled-and-fell * FALL_CURRENT_FRACTION + rising``)
+        and issue identical BLAS calls, so their folded frames — and
+        therefore the traces — are bit-identical by construction, not
+        by floating-point luck.
+
+        Returns ``(clock_en, recorded)`` as bool arrays of shapes
+        ``(n_cycles, n_seq, batch)`` and
+        ``(n_cycles + 1, len(watch_idx), batch)``.
+        """
+        sim = self.chip.sim
+        n_inst = sim.num_instances
+        n_seq = sim.seq_instance_idx.size
+        packed = isinstance(state, PackedState)
+        block = max(1, min(n_cycles, FOLD_BLOCK_COLS // batch))
+        w_block = np.empty((n_inst, block * batch), dtype=np.float32)
+        fall = np.float32(FALL_CURRENT_FRACTION)
+        if packed:
+            nwords = state.nwords
+            tog_words = np.empty((block, n_inst, nwords), dtype=np.uint64)
+            ris_words = np.empty_like(tog_words)
+            clock_en_words = np.empty(
+                (n_cycles, n_seq, nwords), dtype=np.uint64
+            )
+            rec_words = np.empty(
+                (n_cycles + 1, watch_idx.size, nwords), dtype=np.uint64
+            )
+            if watch_idx.size:
+                rec_words[0] = state.words[watch_idx]
+        else:
+            s_block = np.empty((n_inst, block * batch), dtype=bool)
+            r_block = np.empty((n_inst, block * batch), dtype=bool)
+            clock_en = np.empty((n_cycles, n_seq, batch), dtype=bool)
+            rec_buf = np.empty(
+                (n_cycles + 1, watch_idx.size, batch), dtype=bool
+            )
+            if watch_idx.size:
+                rec_buf[0] = state.values[watch_idx]
+
+        def flush(c: int) -> None:
+            if packed:
+                tog = tog_words[:c].transpose(1, 0, 2)
+                ris = ris_words[:c].transpose(1, 0, 2)
+                # s = toggled-and-fell, r = rising: disjoint masks, so
+                # the weight block is exactly s*0.35 + r*1.0 per lane.
+                s_bits = np.ascontiguousarray(
+                    unpack_bits(tog ^ ris, batch)
+                ).reshape(n_inst, c * batch)
+                r_bits = np.ascontiguousarray(
+                    unpack_bits(ris, batch)
+                ).reshape(n_inst, c * batch)
+            else:
+                s_bits = s_block[:, : c * batch]
+                r_bits = r_block[:, : c * batch]
+            wv = w_block[:, : c * batch]
+            np.multiply(s_bits, fall, out=wv)
+            np.add(wv, r_bits, out=wv)
+            ActivityAccumulator.record_all_blocks(acc_list, wv, c, batch)
+
+        fill = 0
+        for k in range(1, n_cycles + 1):
+            if packed:
+                clock_en_words[k - 1] = sim.clock_enable_values(state)
+                toggles = sim.step(state, workload.inputs(k, batch))
+                tog_words[fill] = toggles
+                np.bitwise_and(
+                    toggles, sim.output_values(state), out=ris_words[fill]
+                )
+                if watch_idx.size:
+                    rec_words[k] = state.words[watch_idx]
+            else:
+                clock_en[k - 1] = sim.clock_enable_values(state)
+                toggles = sim.step(state, workload.inputs(k, batch))
+                rising = toggles & sim.output_values(state)
+                off = fill * batch
+                np.logical_xor(
+                    toggles, rising, out=s_block[:, off : off + batch]
+                )
+                r_block[:, off : off + batch] = rising
+                if watch_idx.size:
+                    rec_buf[k] = state.values[watch_idx]
+            fill += 1
+            if fill == block:
+                flush(fill)
+                fill = 0
+        if fill:
+            flush(fill)
+
+        if packed:
+            clock_en = np.ascontiguousarray(
+                unpack_bits(clock_en_words, batch)
+            )
+            rec_buf = np.ascontiguousarray(unpack_bits(rec_words, batch))
+        return clock_en, rec_buf
+
+    def _run_cycles_reference(
+        self,
+        state,
+        workload,
+        n_cycles: int,
+        batch: int,
+        acc_list: list[ActivityAccumulator],
+        watch_idx: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Retained pre-bit-slicing cycle loop (per-cycle float64 fold).
+
+        The baseline implementation the blocked fold is benchmarked
+        against, same idiom as the loop references in ``repro.em``.
+        """
+        sim = self.chip.sim
+        n_seq = sim.seq_instance_idx.size
+        clock_en = np.empty((n_cycles, n_seq, batch), dtype=bool)
+        rec_buf = np.empty((n_cycles + 1, watch_idx.size, batch), dtype=bool)
+        if watch_idx.size:
+            rec_buf[0] = state.values[watch_idx]
+        for k in range(1, n_cycles + 1):
+            clock_en[k - 1] = sim.clock_enable_values(state)
+            toggles = sim.step(state, workload.inputs(k, batch))
+            rising = toggles & sim.output_values(state)
+            weighted = toggles * FALL_CURRENT_FRACTION + rising * (
+                1.0 - FALL_CURRENT_FRACTION
+            )
+            ActivityAccumulator.record_all(acc_list, weighted)
+            if watch_idx.size:
+                rec_buf[k] = state.values[watch_idx]
+        return clock_en, rec_buf
 
     # ------------------------------------------------------------------
     def _synthesize_receiver(
@@ -431,10 +606,8 @@ class AcquisitionEngine:
         the idle noise record, so the record-level SNR calibration is
         unaffected.
         """
-        from scipy import signal as _signal
-
         nyq = 0.5 * self.chip.config.fs
-        b, a = _signal.butter(2, min(2e6 / nyq, 0.99))
+        b, a = _butter_lowpass(2, min(2e6 / nyq, 0.99))
         raw = rng.normal(size=wave.shape)
         smooth = _signal.lfilter(b, a, raw, axis=-1)
         row_rms = np.sqrt(np.mean(smooth**2, axis=-1, keepdims=True))
@@ -460,8 +633,6 @@ class AcquisitionEngine:
         so the record-level RMS still equals *total_rms* exactly as the
         SNR calibration assumes.
         """
-        from scipy import signal as _signal
-
         from repro.chip.scenario import PROBE_INBAND_CUTOFF
 
         frac = self.scenario.probe_inband_fraction if rcv.external else 0.0
@@ -474,7 +645,7 @@ class AcquisitionEngine:
         noise = white_noise(rng, shape, broad_rms)
         raw = rng.normal(size=shape)
         nyq = 0.5 * self.chip.config.fs
-        b, a = _signal.butter(3, min(PROBE_INBAND_CUTOFF / nyq, 0.99))
+        b, a = _butter_lowpass(3, min(PROBE_INBAND_CUTOFF / nyq, 0.99))
         coloured = _signal.lfilter(b, a, raw, axis=-1)
         c_rms = float(np.sqrt(np.mean(coloured**2)))
         if c_rms > 0:

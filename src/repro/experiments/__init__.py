@@ -19,6 +19,7 @@ from repro.experiments.campaign import (
     DEFAULT_KEY,
     TRACE_COLLECTORS,
     calibrated,
+    clear_campaign_caches,
     collect_ed_traces,
     collect_raw_records,
     collect_spectral_record,
@@ -61,6 +62,7 @@ __all__ = [
     "DEFAULT_KEY",
     "TRACE_COLLECTORS",
     "calibrated",
+    "clear_campaign_caches",
     "collect_ed_traces",
     "collect_raw_records",
     "collect_spectral_record",

@@ -82,6 +82,27 @@ def shared_chip(seed: int = 0, trojans: tuple[str, ...] = ALL_TROJANS) -> Chip:
 _CALIBRATION_CACHE: dict[tuple[int, tuple[str, ...], str], Scenario] = {}
 
 
+def clear_campaign_caches() -> None:
+    """Release every process-level campaign cache.
+
+    The memoised :func:`~repro.chip.acquire.acquisition_engine` and
+    :func:`shared_chip` each pin strong references to full ``Chip``
+    objects (coupling matrices included, tens of MB apiece) for the
+    process lifetime; a weakref cache would not help because the cached
+    engine itself holds its chip alive.  Campaign teardown — end of an
+    experiment driver, a test session, or a worker that is done — calls
+    this instead, after which dropped chips are garbage-collectable
+    (``tests/chip/test_packed_acquisition.py`` pins that).
+    """
+    acquisition_engine.cache_clear()
+    shared_chip.cache_clear()
+    _CALIBRATION_CACHE.clear()
+    # Imported lazily: parallel imports this module at load time.
+    from repro.experiments import parallel as _parallel
+
+    _parallel._CHIP_CACHE.clear()
+
+
 def calibrated(chip: Chip, scenario: Scenario) -> Scenario:
     """SNR-anchored variant of *scenario* for *chip* (memoised).
 

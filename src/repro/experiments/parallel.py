@@ -17,8 +17,12 @@ serial path and forked workers with :func:`register_chip`.
 Worker count: ``run_campaigns(..., workers=N)``, else the
 ``REPRO_WORKERS`` environment variable, else ``os.cpu_count()``.  With
 one worker (or one campaign) everything runs in-process — same results,
-no pool overhead.  See ``docs/PERFORMANCE.md`` for when the fan-out
-actually pays off.
+no pool overhead.  The runner also degrades to the serial loop on its
+own when the pool cannot win: never more workers than campaigns, and no
+pool at all on a single-CPU host (where fork + pickle overhead measured
+0.79× of serial; ``REPRO_FORCE_POOL=1`` overrides, for tests that
+exercise the pool itself).  See ``docs/PERFORMANCE.md`` for when the
+fan-out actually pays off.
 """
 
 from __future__ import annotations
@@ -40,6 +44,11 @@ from repro.experiments.campaign import (
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Set to ``1`` to keep the process pool even where the auto-degrade
+#: heuristic would run serially (single-CPU hosts) — used by the tests
+#: that verify pool output equals serial output.
+FORCE_POOL_ENV_VAR = "REPRO_FORCE_POOL"
 
 #: Campaign kinds understood by the runner (the collector registry).
 CAMPAIGN_KINDS = tuple(TRACE_COLLECTORS)
@@ -162,7 +171,16 @@ def run_campaigns(
     names = [spec.name for spec in spec_list]
     if len(set(names)) != len(names):
         raise ExperimentError(f"campaign names must be unique, got {names}")
+    # More workers than campaigns only adds idle processes; a pool on a
+    # single CPU only adds fork + pickle overhead (measured 0.79× of
+    # serial) — degrade to the bit-identical serial loop in both cases.
     n_workers = min(resolve_workers(workers), len(spec_list))
+    if (
+        n_workers > 1
+        and (os.cpu_count() or 1) <= 1
+        and os.environ.get(FORCE_POOL_ENV_VAR) != "1"
+    ):
+        n_workers = 1
     if n_workers <= 1 or len(spec_list) <= 1:
         return {spec.name: _run_one(spec) for spec in spec_list}
     methods = multiprocessing.get_all_start_methods()

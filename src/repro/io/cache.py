@@ -54,7 +54,8 @@ DEFAULT_CACHE_MB = 2048
 
 #: Pipeline code-version salt.  Any change that alters collector output
 #: for identical inputs must bump this, invalidating every old entry.
-CACHE_SALT = "repro-pipeline-1"
+#: (2: acquisition fold moved to blocked float32 — traces shift ~1e-5.)
+CACHE_SALT = "repro-pipeline-2"
 
 
 def _canon(obj):

@@ -17,7 +17,14 @@ from repro.logic.cells import CellKind, StdCell
 from repro.logic.library import LIBRARY, get_cell, list_cells
 from repro.logic.netlist import Instance, Net, Netlist
 from repro.logic.builder import NetlistBuilder
-from repro.logic.simulator import CompiledNetlist, SimulationState
+from repro.logic.simulator import (
+    CompiledNetlist,
+    PackedState,
+    SimulationState,
+    pack_bits,
+    resolve_backend,
+    unpack_bits,
+)
 from repro.logic.activity import (
     ActivityAccumulator,
     ToggleCountRecorder,
@@ -40,7 +47,11 @@ __all__ = [
     "Netlist",
     "NetlistBuilder",
     "CompiledNetlist",
+    "PackedState",
     "SimulationState",
+    "pack_bits",
+    "resolve_backend",
+    "unpack_bits",
     "ActivityAccumulator",
     "ToggleCountRecorder",
     "TraceRecorder",

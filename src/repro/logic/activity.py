@@ -74,9 +74,19 @@ class ActivityAccumulator:
         Per-instance integer delay bin, shape ``(num_instances,)``.  The
         power model derives these from topological levels so that deep
         gates switch later within the clock period.
+    dtype:
+        Floating dtype of the fold (dense matrix and recorded frames).
+        Default float64; the acquisition engine folds in float32, which
+        halves GEMM traffic and is the precision the synthesised traces
+        resolve anyway.
     """
 
-    def __init__(self, weights: np.ndarray, bins: np.ndarray) -> None:
+    def __init__(
+        self,
+        weights: np.ndarray,
+        bins: np.ndarray,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
         weights = np.asarray(weights, dtype=np.float64)
         bins = np.asarray(bins, dtype=np.int64)
         if weights.shape != bins.shape or weights.ndim != 1:
@@ -88,15 +98,19 @@ class ActivityAccumulator:
             raise SimulationError("delay bins must be non-negative")
         self.weights = weights
         self.bins = bins
+        self.dtype = np.dtype(dtype)
         self.num_bins = int(bins.max(initial=-1)) + 1
-        self._frames: list[np.ndarray] = []
+        # Recorded history, stored as (cycles_in_block, bins, batch)
+        # chunks: record() appends 1-cycle blocks, the blocked engine
+        # fold appends many cycles at once.
+        self._blocks: list[np.ndarray] = []
         # The fold "sum weighted toggles per bin" is a matrix product
         # with the (num_bins, insts) indicator-times-weight matrix; BLAS
         # runs it several times faster than ``np.add.at``'s unbuffered
         # scatter.  Only built when affordably dense.
         self._dense: np.ndarray | None = None
         if 0 < self.num_bins * weights.size * 8 <= _DENSE_FOLD_LIMIT_BYTES:
-            dense = np.zeros((self.num_bins, weights.size))
+            dense = np.zeros((self.num_bins, weights.size), dtype=self.dtype)
             dense[bins, np.arange(weights.size)] = weights
             self._dense = dense
         self._stack_key: tuple[int, ...] | None = None
@@ -106,7 +120,7 @@ class ActivityAccumulator:
         """Fold one toggle matrix into a ``(bins, batch)`` frame."""
         if self._dense is not None:
             return self._dense @ toggles
-        frame = np.zeros((self.num_bins, toggles.shape[1]), dtype=np.float64)
+        frame = np.zeros((self.num_bins, toggles.shape[1]), dtype=self.dtype)
         if self.weights.size:
             np.add.at(frame, self.bins, toggles * self.weights[:, None])
         return frame
@@ -118,7 +132,21 @@ class ActivityAccumulator:
                 f"toggle matrix has {toggles.shape[0]} rows, expected "
                 f"{self.weights.shape[0]}"
             )
-        self._frames.append(self._fold(toggles))
+        self._blocks.append(self._fold(toggles)[None])
+
+    @staticmethod
+    def _stacked_dense(
+        accumulators: list["ActivityAccumulator"],
+    ) -> np.ndarray:
+        """Row-stacked dense fold matrices of *accumulators* (cached)."""
+        first = accumulators[0]
+        key = tuple(id(acc) for acc in accumulators)
+        if first._stack_key != key:
+            first._stack_key = key
+            first._stack_dense = np.vstack(
+                [acc._dense for acc in accumulators]
+            )
+        return first._stack_dense
 
     @staticmethod
     def record_all(
@@ -145,32 +173,65 @@ class ActivityAccumulator:
             for acc in accumulators:
                 acc.record(toggles)
             return
-        key = tuple(id(acc) for acc in accumulators)
-        if first._stack_key != key:
-            first._stack_key = key
-            first._stack_dense = np.vstack(
-                [acc._dense for acc in accumulators]
-            )
-        frames = first._stack_dense @ toggles
+        frames = ActivityAccumulator._stacked_dense(accumulators) @ toggles
         row = 0
         for acc in accumulators:
-            acc._frames.append(frames[row : row + acc.num_bins])
+            acc._blocks.append(frames[None, row : row + acc.num_bins])
+            row += acc.num_bins
+
+    @staticmethod
+    def record_all_blocks(
+        accumulators: list["ActivityAccumulator"],
+        columns: np.ndarray,
+        n_cycles: int,
+        batch: int,
+    ) -> None:
+        """Fold a whole block of cycles into several accumulators at once.
+
+        *columns* holds ``n_cycles`` weighted toggle matrices side by
+        side, shape ``(insts, n_cycles * batch)`` with cycle-major
+        columns — the layout the acquisition engine's block buffers
+        produce.  The fold is one
+        ``(sum_bins, insts) @ (insts, n_cycles * batch)`` BLAS call
+        across all accumulators instead of ``n_cycles`` small GEMMs.
+        """
+        if not accumulators:
+            return
+        first = accumulators[0]
+        if columns.shape != (first.weights.shape[0], n_cycles * batch):
+            raise SimulationError(
+                f"column block has shape {columns.shape}, expected "
+                f"({first.weights.shape[0]}, {n_cycles * batch})"
+            )
+        if any(acc._dense is None for acc in accumulators):
+            for c in range(n_cycles):
+                ActivityAccumulator.record_all(
+                    accumulators, columns[:, c * batch : (c + 1) * batch]
+                )
+            return
+        frames = ActivityAccumulator._stacked_dense(accumulators) @ columns
+        row = 0
+        for acc in accumulators:
+            block = frames[row : row + acc.num_bins]
+            acc._blocks.append(
+                block.reshape(acc.num_bins, n_cycles, batch).transpose(1, 0, 2)
+            )
             row += acc.num_bins
 
     @property
     def cycles(self) -> int:
         """Number of cycles recorded so far."""
-        return len(self._frames)
+        return sum(block.shape[0] for block in self._blocks)
 
     def result(self) -> np.ndarray:
         """Stacked history of shape ``(cycles, num_bins, batch)``."""
-        if not self._frames:
+        if not self._blocks:
             raise SimulationError("no cycles recorded yet")
-        return np.stack(self._frames, axis=0)
+        return np.concatenate(self._blocks, axis=0)
 
     def clear(self) -> None:
         """Drop all recorded frames (weights/bins are kept)."""
-        self._frames.clear()
+        self._blocks.clear()
 
 
 class TraceRecorder:

@@ -1,0 +1,101 @@
+"""Full-campaign equivalence of the packed simulation backend.
+
+The packed backend must be *bit-identical* to the bool backend — same
+traces, same recorded nets, for every Trojan — because both feed the
+same blocked float32 activity fold.  The legacy per-cycle float64 fold
+(``reference_fold=True``) is kept as a numerical baseline and is only
+required to agree to float32 round-off.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.chip import AcquisitionEngine, EncryptionWorkload
+from repro.chip.acquire import acquisition_engine
+from repro.chip.chip import Chip
+from repro.chip.scenario import simulation_scenario
+from repro.experiments import clear_campaign_caches
+from repro.logic.simulator import BACKEND_ENV_VAR
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+@pytest.fixture(scope="module")
+def engine(chip, sim_scenario):
+    return AcquisitionEngine(chip, sim_scenario)
+
+
+def _campaign(chip, engine, backend, monkeypatch, *, batch, trojans=(),
+              n_cycles=48, **kw):
+    monkeypatch.setenv(BACKEND_ENV_VAR, backend)
+    wl = EncryptionWorkload(chip.aes, KEY)
+    return engine.acquire(
+        wl,
+        n_cycles=n_cycles,
+        batch=batch,
+        trojan_enables=trojans,
+        record_nets={"busy": chip.aes.busy},
+        rng_role=f"packed-eq/{'+'.join(trojans) or 'golden'}",
+        **kw,
+    )
+
+
+def _assert_identical(a, b):
+    assert set(a.traces) == set(b.traces)
+    for name in a.traces:
+        assert np.array_equal(a.traces[name], b.traces[name]), name
+    assert set(a.recorded) == set(b.recorded)
+    for name in a.recorded:
+        assert np.array_equal(a.recorded[name], b.recorded[name]), name
+
+
+@pytest.mark.parametrize("batch", (64, 65))
+def test_golden_campaign_bit_identity(chip, engine, monkeypatch, batch):
+    """Noise, both receivers, recorded nets — exact equality end to end."""
+    packed = _campaign(chip, engine, "packed", monkeypatch, batch=batch)
+    boolr = _campaign(chip, engine, "bool", monkeypatch, batch=batch)
+    _assert_identical(packed, boolr)
+
+
+@pytest.mark.parametrize(
+    "trojans", [("trojan1",), ("trojan2",), ("trojan3",), ("trojan4",), ("a2",)]
+)
+def test_trojan_campaign_bit_identity(chip, engine, monkeypatch, trojans):
+    packed = _campaign(chip, engine, "packed", monkeypatch,
+                       batch=64, trojans=trojans)
+    boolr = _campaign(chip, engine, "bool", monkeypatch,
+                      batch=64, trojans=trojans)
+    _assert_identical(packed, boolr)
+
+
+def test_reference_fold_tolerance(chip, engine, monkeypatch):
+    """The retained float64 per-cycle fold agrees to float32 round-off."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    kw = dict(n_cycles=48, batch=64, receivers=("sensor",),
+              include_noise=False, rng_role="packed-eq/reference")
+    fast = engine.acquire(EncryptionWorkload(chip.aes, KEY), **kw)
+    ref = engine.acquire(
+        EncryptionWorkload(chip.aes, KEY), reference_fold=True, **kw
+    )
+    for name in ref.traces:
+        scale = np.max(np.abs(ref.traces[name])) or 1.0
+        err = np.max(np.abs(fast.traces[name] - ref.traces[name])) / scale
+        assert err < 1e-5, (name, err)
+
+
+def test_engine_cache_releases_dropped_chip():
+    """A chip only reachable through the engine cache must be collectable
+    once campaign teardown calls :func:`clear_campaign_caches`."""
+    chip = Chip.build(seed=987, trojans=())
+    scenario = simulation_scenario()
+    acquisition_engine(chip, scenario)  # pins chip via the lru_cache
+    ref = weakref.ref(chip)
+    del chip
+    gc.collect()
+    assert ref() is not None  # the cache really was the pin
+    clear_campaign_caches()
+    gc.collect()
+    assert ref() is None

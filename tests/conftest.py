@@ -38,6 +38,21 @@ def sil_scenario(chip):
     return calibrate_scenario(chip, silicon_scenario())
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _release_campaign_caches():
+    """Session teardown: drop the chips pinned by the campaign caches.
+
+    The memoised acquisition engine / shared-chip caches hold full Chip
+    objects for the process lifetime; releasing them at teardown keeps
+    long pytest-driven harnesses (and xdist workers) from accumulating
+    every chip ever built.
+    """
+    yield
+    from repro.experiments import clear_campaign_caches
+
+    clear_campaign_caches()
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     """Fresh deterministic RNG per test."""
