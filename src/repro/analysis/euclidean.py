@@ -256,6 +256,21 @@ class EuclideanDetector:
             det._pca = pca
         return det
 
+    @property
+    def fingerprint(self) -> np.ndarray:
+        """Golden mean feature vector (read-only).
+
+        Raises
+        ------
+        AnalysisError
+            If the detector has not been fitted.
+        """
+        if self._fingerprint is None:
+            raise AnalysisError("detector used before fit()")
+        view = self._fingerprint.view()
+        view.flags.writeable = False
+        return view
+
     def features(self, traces: np.ndarray) -> np.ndarray:
         """Normalise (and PCA-project, if fitted so) traces."""
         feats = normalize_traces(traces)

@@ -1,0 +1,65 @@
+"""Fleet monitoring service: many chips, streaming, supervised.
+
+The paper's runtime framing — "the monitor keeps reading the EM sensor
+output" — scaled out to a fleet of deployed chips:
+
+* :class:`~repro.fleet.feed.TraceFeed` — replays acquisition/cache
+  campaigns as per-chip streams with arrival batching and
+  deterministic injected link faults (drops / duplicates / reorders);
+* :class:`~repro.fleet.session.MonitorSession` — a checkpointable,
+  instrumented :class:`~repro.framework.monitor.RuntimeMonitor`
+  wrapper with bit-identical ``state_dict()``/``from_state`` resume;
+* :class:`~repro.fleet.scheduler.FleetScheduler` — bounded per-chip
+  queues, an explicit backpressure policy (``block`` /
+  ``drop_oldest``, drop counts always surfaced), and worker fan-out
+  following the :mod:`repro.experiments.parallel` conventions;
+* :class:`~repro.fleet.metrics.MetricsRegistry` and
+  :class:`~repro.fleet.journal.EventJournal` — counters, gauges,
+  p50/p95/p99 latency histograms, per-stage timing hooks and an
+  atomically flushed JSONL event journal;
+* :func:`~repro.fleet.campaign.run_fleet_campaign` and the
+  ``repro-fleet`` console script — the simulated golden + T1–T4 + A2
+  fleet campaign with combined time/spectral verdicts.
+
+See ``docs/FLEET.md`` for the architecture, the backpressure policy,
+the metrics glossary and the checkpoint format.
+"""
+
+from repro.fleet.feed import FaultSpec, NO_FAULTS, TraceFeed, WindowBatch
+from repro.fleet.journal import EventJournal
+from repro.fleet.metrics import MetricsRegistry, format_snapshot
+from repro.fleet.scheduler import (
+    BoundedQueue,
+    ChipReport,
+    FleetResult,
+    FleetScheduler,
+)
+from repro.fleet.session import MonitorSession, floor_scaled_threshold
+from repro.fleet.campaign import (
+    DEFAULT_FLEET,
+    ChipVerdict,
+    FleetCampaignResult,
+    FleetConfig,
+    run_fleet_campaign,
+)
+
+__all__ = [
+    "FaultSpec",
+    "NO_FAULTS",
+    "TraceFeed",
+    "WindowBatch",
+    "EventJournal",
+    "MetricsRegistry",
+    "format_snapshot",
+    "BoundedQueue",
+    "ChipReport",
+    "FleetResult",
+    "FleetScheduler",
+    "MonitorSession",
+    "floor_scaled_threshold",
+    "DEFAULT_FLEET",
+    "ChipVerdict",
+    "FleetCampaignResult",
+    "FleetConfig",
+    "run_fleet_campaign",
+]

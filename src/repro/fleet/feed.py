@@ -1,0 +1,200 @@
+"""Per-chip trace streams with arrival batching and fault injection.
+
+A deployed monitor never sees a tidy trace matrix: windows arrive in
+transport batches, and the telemetry link between a chip's sensor and
+the fleet service loses, repeats and reorders them.  :class:`TraceFeed`
+replays a trace campaign (anything the acquisition/cache layers
+produce, usually via :func:`repro.experiments.campaign.
+get_or_generate_traces`) as exactly that kind of stream: window rows
+delivered in :class:`WindowBatch` chunks, each row tagged with its
+source sequence number, with deterministic injected fault points
+(dropped / duplicated / out-of-order windows) drawn from the library's
+seeded RNG streams.
+
+The delivery schedule is computed eagerly from ``(seed, chip_id)``
+alone, so two feeds over the same campaign are identical — the
+property the scheduler's checkpoint/resume support leans on
+(:meth:`TraceFeed.batch_at` is random access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.rng import derive
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-window fault probabilities on the chip-to-service link."""
+
+    #: Probability a window is lost in transit (never delivered).
+    drop: float = 0.0
+    #: Probability a window is delivered twice (back to back).
+    duplicate: float = 0.0
+    #: Probability a delivered window swaps with its successor.
+    reorder: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ExperimentError(
+                    f"fault probability {name} must be in [0, 1), got {p}"
+                )
+
+    @property
+    def any(self) -> bool:
+        return self.drop > 0 or self.duplicate > 0 or self.reorder > 0
+
+
+#: The clean link (no injected faults).
+NO_FAULTS = FaultSpec()
+
+
+@dataclass(eq=False)
+class WindowBatch:
+    """One arrival batch of trace windows for one chip."""
+
+    chip_id: str
+    #: Source window index of each row (post-fault delivery order).
+    seqs: tuple[int, ...]
+    #: ``(len(seqs), samples)`` trace rows, delivery order.
+    traces: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+
+def _delivery_schedule(
+    n: int, faults: FaultSpec, rng: np.random.Generator
+) -> tuple[list[int], list[int], int, int]:
+    """Delivered source indices plus (dropped, duplicated, reordered).
+
+    Draw order is fixed (drop, duplicate, reorder) so a schedule is a
+    pure function of ``(n, faults, rng stream)``.  Drop wins over
+    duplicate for the same window; reorder swaps adjacent *delivered*
+    positions, skipping overlaps left to right.
+    """
+    drop_mask = rng.random(n) < faults.drop
+    dup_mask = rng.random(n) < faults.duplicate
+    delivered: list[int] = []
+    dropped: list[int] = []
+    duplicated = 0
+    for seq in range(n):
+        if drop_mask[seq]:
+            dropped.append(seq)
+            continue
+        delivered.append(seq)
+        if dup_mask[seq]:
+            delivered.append(seq)
+            duplicated += 1
+    swap_draw = rng.random(max(len(delivered) - 1, 0))
+    reordered = 0
+    i = 0
+    while i < len(delivered) - 1:
+        if swap_draw[i] < faults.reorder:
+            delivered[i], delivered[i + 1] = delivered[i + 1], delivered[i]
+            reordered += 1
+            i += 2
+        else:
+            i += 1
+    return delivered, dropped, duplicated, reordered
+
+
+class TraceFeed:
+    """Replay of one chip's trace campaign as a batched stream."""
+
+    def __init__(
+        self,
+        chip_id: str,
+        traces: np.ndarray,
+        batch: int = 8,
+        faults: FaultSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        chip_id:
+            Stream identity; also salts the fault-injection RNG role.
+        traces:
+            ``(n_windows, samples)`` campaign matrix (memmapped cache
+            hits work unchanged; rows are only read).
+        batch:
+            Windows per arrival batch (the last batch may be short).
+        faults:
+            Link fault probabilities; ``None`` means a clean link.
+        seed:
+            Parent seed of the fault-injection stream (derived through
+            :func:`repro.rng.derive` with role ``fleet/feed/<chip_id>``).
+        """
+        traces = np.atleast_2d(np.asarray(traces))
+        if traces.ndim != 2 or traces.shape[0] < 1:
+            raise ExperimentError(
+                f"feed traces must be (n, samples), got {traces.shape}"
+            )
+        if batch < 1:
+            raise ExperimentError(f"batch must be >= 1, got {batch}")
+        self.chip_id = chip_id
+        self.batch = batch
+        self.faults = faults or NO_FAULTS
+        self.seed = seed
+        self._traces = traces
+        delivered, dropped, duplicated, reordered = _delivery_schedule(
+            traces.shape[0],
+            self.faults,
+            derive(seed, f"fleet/feed/{chip_id}"),
+        )
+        #: Source window indices in delivery order.
+        self.delivered_seqs: tuple[int, ...] = tuple(delivered)
+        #: Source window indices lost in transit (surfaced, never silent).
+        self.dropped_seqs: tuple[int, ...] = tuple(dropped)
+        self.duplicated = duplicated
+        self.reordered = reordered
+
+    @property
+    def n_source_windows(self) -> int:
+        """Windows in the underlying campaign (pre-fault)."""
+        return self._traces.shape[0]
+
+    @property
+    def n_delivered(self) -> int:
+        """Windows the link actually delivers (post-fault)."""
+        return len(self.delivered_seqs)
+
+    @property
+    def n_batches(self) -> int:
+        return -(-self.n_delivered // self.batch)
+
+    def batch_at(self, index: int) -> WindowBatch:
+        """The *index*-th arrival batch (random access, deterministic)."""
+        if not 0 <= index < self.n_batches:
+            raise ExperimentError(
+                f"batch index {index} out of range [0, {self.n_batches})"
+            )
+        seqs = self.delivered_seqs[
+            index * self.batch: (index + 1) * self.batch
+        ]
+        return WindowBatch(
+            chip_id=self.chip_id,
+            seqs=seqs,
+            traces=self._traces[list(seqs)],
+        )
+
+    def __iter__(self):
+        for i in range(self.n_batches):
+            yield self.batch_at(i)
+
+    def delivered_traces(self) -> np.ndarray:
+        """Every delivered window row in delivery order.
+
+        This is the exact trace multiset a one-shot evaluation of the
+        stream would see — the fleet CLI's alarm-verdict consistency
+        check evaluates it through the plain
+        :class:`~repro.analysis.euclidean.EuclideanDetector`.
+        """
+        return self._traces[list(self.delivered_seqs)]

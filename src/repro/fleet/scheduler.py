@@ -1,0 +1,556 @@
+"""Fleet scheduler: bounded per-chip queues, backpressure, fan-out.
+
+The ingestor between the per-chip trace feeds and their monitor
+sessions.  Each chip owns one bounded FIFO; the scheduler produces
+arrival batches round-robin across the fleet and drains each queue
+through its session.  When a queue is full the **backpressure policy**
+decides, explicitly:
+
+* ``"block"`` — the producer waits for the consumer (serially: the
+  oldest batch is drained through the session before the new one is
+  admitted).  Nothing is ever lost.
+* ``"drop_oldest"`` — the oldest queued batch is evicted to admit the
+  new one.  Every eviction is counted per chip, journalled as a
+  ``drop`` event with the lost sequence numbers, and surfaced in the
+  fleet report — **never silent**.
+
+Worker fan-out follows the :mod:`repro.experiments.parallel`
+conventions: the effective worker count comes from
+:func:`~repro.experiments.parallel.resolve_workers` (argument →
+``REPRO_WORKERS`` → CPU count), is clamped to the chip count, and
+auto-degrades to the deterministic serial loop on single-CPU hosts
+(``REPRO_FORCE_POOL=1`` overrides, as for the campaign pool).  Workers
+are threads, not processes — sessions are stateful and ingestion is
+NumPy-bound, so the GIL is released where it matters; each worker owns
+a fixed partition of the chips, which keeps per-chip ordering exact
+and makes the threaded run alarm-identical to the serial one under the
+``block`` policy.
+
+Checkpoint/resume (serial mode): :meth:`FleetScheduler.run` with
+``max_ticks`` stops at a tick boundary, :meth:`state_dict` captures
+the sessions plus the production/queue bookkeeping, and
+:meth:`from_state` + a second :meth:`run` over identically rebuilt
+feeds continues **bit-identically** — same alarms, same journal tail.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.parallel import FORCE_POOL_ENV_VAR, resolve_workers
+from repro.fleet.feed import TraceFeed, WindowBatch
+from repro.fleet.journal import EventJournal
+from repro.fleet.metrics import MetricsRegistry
+from repro.fleet.session import MonitorSession
+from repro.framework.monitor import AlarmEvent
+
+#: Supported backpressure policies.
+POLICIES = ("block", "drop_oldest")
+
+
+class BoundedQueue:
+    """Thread-safe bounded FIFO with an explicit overflow policy."""
+
+    def __init__(self, depth: int, policy: str) -> None:
+        if depth < 1:
+            raise ExperimentError(f"queue depth must be >= 1, got {depth}")
+        if policy not in POLICIES:
+            raise ExperimentError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        self.depth = depth
+        self.policy = policy
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.dropped: list[WindowBatch] = []
+        self.high_water = 0
+
+    def put(self, item: WindowBatch) -> WindowBatch | None:
+        """Enqueue; returns the batch evicted by ``drop_oldest`` (if any).
+
+        Under the ``block`` policy this waits until a consumer frees a
+        slot.
+        """
+        with self._cond:
+            if self.policy == "block":
+                while len(self._items) >= self.depth:
+                    self._cond.wait()
+                evicted = None
+            else:
+                evicted = (
+                    self._items.popleft()
+                    if len(self._items) >= self.depth
+                    else None
+                )
+                if evicted is not None:
+                    self.dropped.append(evicted)
+            self._items.append(item)
+            self.high_water = max(self.high_water, len(self._items))
+            self._cond.notify_all()
+            return evicted
+
+    def get_nowait(self) -> WindowBatch | None:
+        with self._cond:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._cond.notify_all()
+            return item
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def finished(self) -> bool:
+        """Closed and fully drained."""
+        with self._cond:
+            return self._closed and not self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class ChipReport:
+    """One chip's fleet-run outcome."""
+
+    chip_id: str
+    windows_delivered: int
+    windows_ingested: int
+    #: Windows the link lost (feed fault injection) — explicit counts.
+    feed_dropped: int
+    feed_duplicated: int
+    feed_reordered: int
+    #: Batches/windows evicted by the ``drop_oldest`` queue policy.
+    queue_dropped_batches: int
+    queue_dropped_windows: int
+    #: Sequence anomalies the session observed.
+    gaps: int
+    out_of_order: int
+    alarms: list[AlarmEvent] = field(default_factory=list)
+
+    @property
+    def time_alarm(self) -> bool:
+        return bool(self.alarms)
+
+    @property
+    def first_alarm_window(self) -> int | None:
+        return self.alarms[0].window_index if self.alarms else None
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one scheduler run."""
+
+    reports: dict[str, ChipReport]
+    complete: bool
+    ticks: int
+    elapsed_seconds: float
+    metrics: dict
+    journal_path: str | None = None
+
+    @property
+    def windows_ingested(self) -> int:
+        return sum(r.windows_ingested for r in self.reports.values())
+
+    @property
+    def throughput(self) -> float:
+        """Ingestion rate over the whole fleet [windows/s]."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.windows_ingested / self.elapsed_seconds
+
+    def format(self) -> str:
+        lines = [
+            f"fleet run: {len(self.reports)} chips, "
+            f"{self.windows_ingested} windows in "
+            f"{self.elapsed_seconds:.2f}s "
+            f"({self.throughput:.0f} windows/s)"
+            + ("" if self.complete else "  [PARTIAL — checkpointed]")
+        ]
+        for chip_id, r in self.reports.items():
+            status = (
+                f"ALARM @ window {r.first_alarm_window}"
+                if r.time_alarm
+                else "quiet"
+            )
+            lines.append(
+                f"  {chip_id:<9} {status:<22} "
+                f"ingested {r.windows_ingested}/{r.windows_delivered}, "
+                f"link drops {r.feed_dropped}, dup {r.feed_duplicated}, "
+                f"reordered {r.feed_reordered}, "
+                f"queue drops {r.queue_dropped_windows}, "
+                f"gaps {r.gaps}, ooo {r.out_of_order}"
+            )
+        return "\n".join(lines)
+
+
+class FleetScheduler:
+    """Streams many chips' feeds through their monitor sessions."""
+
+    def __init__(
+        self,
+        sessions: list[MonitorSession],
+        queue_depth: int = 8,
+        policy: str = "block",
+        workers: int | None = None,
+        consume_every: int = 1,
+        journal: EventJournal | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        sessions:
+            One per chip; their order fixes the round-robin order.
+        queue_depth:
+            Bounded per-chip queue capacity, in batches.
+        policy:
+            Backpressure policy, ``"block"`` or ``"drop_oldest"``.
+        workers:
+            Ingestion fan-out; resolved through the
+            :mod:`repro.experiments.parallel` conventions.  ``1``
+            forces the deterministic serial loop (required for
+            checkpointing).
+        consume_every:
+            Serial-mode consumer pacing: sessions drain one batch per
+            chip every *consume_every* production ticks.  ``1`` keeps
+            consumers in lock-step with producers; larger values
+            emulate a slow consumer and exercise the backpressure
+            policy deterministically.  Ignored by the threaded path.
+        journal, metrics:
+            Shared sinks; default to the first session's.
+        """
+        if not sessions:
+            raise ExperimentError("fleet needs at least one session")
+        ids = [s.chip_id for s in sessions]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError(f"chip ids must be unique, got {ids}")
+        if policy not in POLICIES:
+            raise ExperimentError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if consume_every < 1:
+            raise ExperimentError(
+                f"consume_every must be >= 1, got {consume_every}"
+            )
+        self.sessions = {s.chip_id: s for s in sessions}
+        self.order = ids
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.workers = workers
+        self.consume_every = consume_every
+        self.journal = journal if journal is not None else sessions[0].journal
+        self.metrics = metrics if metrics is not None else sessions[0].metrics
+        # Serial-mode bookkeeping (also the checkpointable state).
+        self._tick = 0
+        self._produced: dict[str, int] = {c: 0 for c in ids}
+        self._pending: dict[str, list[int]] = {c: [] for c in ids}
+        self._queue_dropped: dict[str, list[int]] = {c: [] for c in ids}
+
+    # ------------------------------------------------------------------
+    def _effective_workers(self) -> int:
+        n = min(resolve_workers(self.workers), len(self.order))
+        if (
+            n > 1
+            and (os.cpu_count() or 1) <= 1
+            and os.environ.get(FORCE_POOL_ENV_VAR) != "1"
+        ):
+            n = 1
+        return n
+
+    def run(
+        self, feeds: list[TraceFeed], max_ticks: int | None = None
+    ) -> FleetResult:
+        """Stream every feed through its session; returns the outcome.
+
+        ``max_ticks`` (serial mode only) stops after that many
+        *absolute* production/consumption ticks, journals a
+        ``checkpoint`` event, and leaves the scheduler resumable via
+        :meth:`state_dict`.
+        """
+        feed_map = {f.chip_id: f for f in feeds}
+        if sorted(feed_map) != sorted(self.order):
+            raise ExperimentError(
+                f"feeds {sorted(feed_map)} do not match sessions "
+                f"{sorted(self.order)}"
+            )
+        n_workers = self._effective_workers()
+        start = time.perf_counter()
+        if n_workers > 1:
+            if max_ticks is not None:
+                raise ExperimentError(
+                    "checkpointing (max_ticks) requires workers=1; the "
+                    "threaded ingestors interleave nondeterministically"
+                )
+            self._run_threaded(feed_map, n_workers)
+            complete = True
+        else:
+            complete = self._run_serial(feed_map, max_ticks)
+        elapsed = time.perf_counter() - start
+        self.journal.flush()
+        return self._result(feed_map, complete, elapsed)
+
+    # ------------------------------------------------------------------
+    def _drop_batch(self, chip_id: str, batch_index: int, feed: TraceFeed):
+        """Account one queue eviction (drop_oldest) — loudly."""
+        self._queue_dropped[chip_id].append(batch_index)
+        seqs = feed.batch_at(batch_index).seqs
+        self.metrics.counter("fleet.queue.dropped_windows").inc(len(seqs))
+        self.metrics.counter(f"chip.{chip_id}.queue_dropped").inc(len(seqs))
+        self.journal.record(
+            "drop", chip=chip_id, batch=batch_index, seqs=list(seqs)
+        )
+
+    def _run_serial(
+        self, feed_map: dict[str, TraceFeed], max_ticks: int | None
+    ) -> bool:
+        """Deterministic single-threaded produce/consume loop."""
+        produced, pending = self._produced, self._pending
+        while True:
+            live = any(
+                produced[c] < feed_map[c].n_batches or pending[c]
+                for c in self.order
+            )
+            if not live:
+                return True
+            if max_ticks is not None and self._tick >= max_ticks:
+                self.journal.record(
+                    "checkpoint",
+                    tick=self._tick,
+                    windows={
+                        c: self.sessions[c].windows_ingested
+                        for c in self.order
+                    },
+                )
+                return False
+            self._tick += 1
+            for chip_id in self.order:
+                feed = feed_map[chip_id]
+                i = produced[chip_id]
+                if i >= feed.n_batches:
+                    continue
+                if len(pending[chip_id]) >= self.queue_depth:
+                    if self.policy == "drop_oldest":
+                        self._drop_batch(
+                            chip_id, pending[chip_id].pop(0), feed
+                        )
+                    else:
+                        # "block": the producer waits for the consumer,
+                        # which serially means draining the oldest batch
+                        # through the session right now.
+                        self.metrics.counter("fleet.queue.blocked").inc()
+                        oldest = pending[chip_id].pop(0)
+                        self.sessions[chip_id].ingest(feed.batch_at(oldest))
+                self.metrics.gauge(f"chip.{chip_id}.queue_high_water").max(
+                    len(pending[chip_id]) + 1
+                )
+                pending[chip_id].append(i)
+                produced[chip_id] = i + 1
+            if self._tick % self.consume_every == 0:
+                for chip_id in self.order:
+                    if pending[chip_id]:
+                        i = pending[chip_id].pop(0)
+                        self.sessions[chip_id].ingest(
+                            feed_map[chip_id].batch_at(i)
+                        )
+
+    def _run_threaded(
+        self, feed_map: dict[str, TraceFeed], n_workers: int
+    ) -> None:
+        """Producer (main thread) + per-worker chip partitions."""
+        queues = {
+            c: BoundedQueue(self.queue_depth, self.policy)
+            for c in self.order
+        }
+        errors: list[BaseException] = []
+
+        def consume(chip_ids: list[str]) -> None:
+            active = set(chip_ids)
+            try:
+                while active:
+                    progress = False
+                    for chip_id in list(active):
+                        q = queues[chip_id]
+                        item = q.get_nowait()
+                        if item is None:
+                            if q.finished:
+                                active.discard(chip_id)
+                            continue
+                        self.sessions[chip_id].ingest(item)
+                        progress = True
+                    if not progress and active:
+                        time.sleep(1e-4)
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        partitions: list[list[str]] = [[] for _ in range(n_workers)]
+        for i, chip_id in enumerate(self.order):
+            partitions[i % n_workers].append(chip_id)
+        threads = [
+            threading.Thread(target=consume, args=(part,), daemon=True)
+            for part in partitions
+            if part
+        ]
+        for t in threads:
+            t.start()
+        try:
+            exhausted = False
+            while not exhausted:
+                exhausted = True
+                for chip_id in self.order:
+                    feed = feed_map[chip_id]
+                    i = self._produced[chip_id]
+                    if i >= feed.n_batches:
+                        continue
+                    exhausted = False
+                    evicted = queues[chip_id].put(feed.batch_at(i))
+                    if evicted is not None:
+                        # drop_oldest eviction under contention.
+                        idx = self._batch_index_of(feed, evicted)
+                        self._drop_batch(chip_id, idx, feed)
+                    self._produced[chip_id] = i + 1
+        finally:
+            for q in queues.values():
+                q.close()
+            for t in threads:
+                t.join()
+        for chip_id, q in queues.items():
+            self.metrics.gauge(f"chip.{chip_id}.queue_high_water").max(
+                q.high_water
+            )
+        if errors:
+            raise errors[0]
+
+    @staticmethod
+    def _batch_index_of(feed: TraceFeed, batch: WindowBatch) -> int:
+        """Recover a batch's index from its position in the schedule."""
+        # Batches are contiguous slices of the delivery schedule; the
+        # first seq's slice offset identifies the batch uniquely.
+        for i in range(feed.n_batches):
+            if feed.delivered_seqs[i * feed.batch: (i + 1) * feed.batch] \
+                    == batch.seqs:
+                return i
+        raise ExperimentError("batch does not belong to this feed")
+
+    # ------------------------------------------------------------------
+    def _result(
+        self,
+        feed_map: dict[str, TraceFeed],
+        complete: bool,
+        elapsed: float,
+    ) -> FleetResult:
+        reports = {}
+        for chip_id in self.order:
+            feed = feed_map[chip_id]
+            session = self.sessions[chip_id]
+            dropped_batches = self._queue_dropped[chip_id]
+            dropped_windows = sum(
+                len(feed.batch_at(i).seqs) for i in dropped_batches
+            )
+            reports[chip_id] = ChipReport(
+                chip_id=chip_id,
+                windows_delivered=feed.n_delivered,
+                windows_ingested=session.windows_ingested,
+                feed_dropped=len(feed.dropped_seqs),
+                feed_duplicated=feed.duplicated,
+                feed_reordered=feed.reordered,
+                queue_dropped_batches=len(dropped_batches),
+                queue_dropped_windows=dropped_windows,
+                gaps=session.gaps,
+                out_of_order=session.out_of_order,
+                alarms=list(session.monitor.alarms),
+            )
+        return FleetResult(
+            reports=reports,
+            complete=complete,
+            ticks=self._tick,
+            elapsed_seconds=elapsed,
+            metrics=self.metrics.snapshot(),
+            journal_path=(
+                str(self.journal.path) if self.journal.path else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpoint of a (partially run) serial fleet, JSON-encodable.
+
+        Captures every session's monitor state plus the scheduler's
+        production/queue bookkeeping.  Queued-but-not-yet-ingested
+        batches are stored as feed batch *indices* — feeds are
+        deterministic replays, so the queue contents rebuild exactly.
+        """
+        return {
+            "tick": self._tick,
+            "queue_depth": self.queue_depth,
+            "policy": self.policy,
+            "consume_every": self.consume_every,
+            "order": list(self.order),
+            "produced": dict(self._produced),
+            "pending": {c: list(v) for c, v in self._pending.items()},
+            "queue_dropped": {
+                c: list(v) for c, v in self._queue_dropped.items()
+            },
+            "sessions": {
+                c: self.sessions[c].state_dict() for c in self.order
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        evaluator,
+        journal: EventJournal | None = None,
+        metrics: MetricsRegistry | None = None,
+        workers: int | None = None,
+    ) -> "FleetScheduler":
+        """Rebuild a checkpointed fleet against the same evaluator.
+
+        Resuming :meth:`run` with identically rebuilt feeds continues
+        the stream bit-identically (same alarms and journal tail as an
+        uninterrupted run).
+        """
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        journal = journal if journal is not None else EventJournal()
+        sessions = [
+            MonitorSession.from_state(
+                state["sessions"][chip_id],
+                evaluator,
+                metrics=metrics,
+                journal=journal,
+            )
+            for chip_id in state["order"]
+        ]
+        scheduler = cls(
+            sessions,
+            queue_depth=int(state["queue_depth"]),
+            policy=state["policy"],
+            workers=workers if workers is not None else 1,
+            consume_every=int(state["consume_every"]),
+            journal=journal,
+            metrics=metrics,
+        )
+        scheduler._tick = int(state["tick"])
+        scheduler._produced = {
+            c: int(v) for c, v in state["produced"].items()
+        }
+        scheduler._pending = {
+            c: [int(i) for i in v] for c, v in state["pending"].items()
+        }
+        scheduler._queue_dropped = {
+            c: [int(i) for i in v]
+            for c, v in state["queue_dropped"].items()
+        }
+        return scheduler

@@ -1,0 +1,229 @@
+"""Per-chip monitor sessions: instrumented, checkpointable streaming.
+
+A :class:`MonitorSession` wraps one :class:`~repro.framework.monitor.
+RuntimeMonitor` for one fleet chip and adds what a long-running
+service needs on top of the alarm logic:
+
+* **stage instrumentation** — feature extraction and the separation
+  test are timed separately into the shared metrics registry, and
+  ingestion/alarm/anomaly counts are surfaced per chip;
+* **stream accounting** — sequence-number gaps (missing windows) and
+  regressions (out-of-order delivery) are counted, never silently
+  absorbed;
+* **checkpoint/resume** — :meth:`state_dict` / :meth:`from_state`
+  round-trip the complete mutable state through JSON-encodable
+  primitives, bit-identically (the monitor's running feature sum and
+  deque serialise exactly; see :meth:`RuntimeMonitor.state_dict`).
+
+Sessions default to the **floor-calibrated** alarm threshold
+(:func:`floor_scaled_threshold`): the detector's bootstrapped
+split-half separation floor, rescaled from half-set means to
+W-window means.  Unlike the monitor's default analytic three-sigma
+envelope, this keeps the streaming decision consistent with the
+one-shot detector's ``separation > separation_floor`` rule — a
+windowed mean over a long Trojan-active stream converges to the same
+separation the one-shot evaluation measures, so the two verdicts agree
+(the property the fleet CLI's consistency check enforces).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.euclidean import EuclideanDetector
+from repro.errors import AnalysisError
+from repro.fleet.feed import WindowBatch
+from repro.fleet.journal import EventJournal
+from repro.fleet.metrics import MetricsRegistry
+from repro.framework.evaluator import RuntimeTrustEvaluator
+from repro.framework.monitor import AlarmEvent, RuntimeMonitor
+
+
+def floor_scaled_threshold(detector: EuclideanDetector, window: int) -> float:
+    """Bootstrap separation floor rescaled to a W-window sliding mean.
+
+    The fitted floor bounds the distance two independent half-set
+    means (n/2 golden traces each) reach by sampling alone — an error
+    scale of ``d_rms * sqrt(4 / n)``.  A W-window sliding mean
+    compared against the full-set fingerprint fluctuates at
+    ``d_rms * sqrt(1/W + 1/n)``; the ratio of the two converts the
+    bootstrapped (not analytic) envelope to the monitor's geometry:
+
+    ``thr(W) = floor * sqrt((1/W + 1/n) * n / 4)``.
+    """
+    if detector.separation_floor is None or detector.golden_distances is None:
+        raise AnalysisError("detector used before fit()")
+    n = detector.golden_distances.shape[0]
+    scale = math.sqrt((1.0 / window + 1.0 / n) * n / 4.0)
+    return float(detector.separation_floor * scale)
+
+
+class MonitorSession:
+    """One chip's streaming monitor inside a fleet run."""
+
+    def __init__(
+        self,
+        chip_id: str,
+        evaluator: RuntimeTrustEvaluator,
+        window: int = 256,
+        confirm: int = 3,
+        threshold: float | str | None = "floor",
+        metrics: MetricsRegistry | None = None,
+        journal: EventJournal | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        chip_id:
+            Fleet-unique stream identity.
+        evaluator:
+            Trained evaluator shared across the fleet (the golden
+            fingerprint is chip-design-wide, not per-instance).
+        window, confirm:
+            Sliding-window length and alarm hysteresis, as in
+            :class:`RuntimeMonitor`.
+        threshold:
+            ``"floor"`` (default) uses :func:`floor_scaled_threshold`;
+            ``None`` keeps the monitor's analytic envelope; a float is
+            used verbatim.
+        metrics, journal:
+            Shared observability sinks; ``None`` creates private ones.
+        """
+        if threshold == "floor":
+            threshold = floor_scaled_threshold(evaluator.detector, window)
+        elif isinstance(threshold, str):
+            raise AnalysisError(
+                f"threshold must be 'floor', None or a float, "
+                f"got {threshold!r}"
+            )
+        self.chip_id = chip_id
+        self.evaluator = evaluator
+        self.monitor = RuntimeMonitor(
+            evaluator, window=window, confirm=confirm, threshold=threshold
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.journal = journal if journal is not None else EventJournal()
+        self._last_seq: int | None = None
+        self.windows_ingested = 0
+        self.gaps = 0
+        self.out_of_order = 0
+
+    # ------------------------------------------------------------------
+    def ingest(self, batch: WindowBatch) -> list[AlarmEvent]:
+        """Feed one arrival batch through the monitor.
+
+        Features for the whole batch are extracted in one call (timed
+        as ``stage.features.seconds``), then fed row-by-row through the
+        O(1) sliding-window separation test (timed as
+        ``stage.separation.seconds``).  Every alarm is journalled with
+        the chip id and the source sequence number that tripped it.
+        """
+        if batch.chip_id != self.chip_id:
+            raise AnalysisError(
+                f"session {self.chip_id!r} fed batch for {batch.chip_id!r}"
+            )
+        if len(batch) == 0:
+            return []
+        with self.metrics.time("stage.features.seconds"):
+            feats = self.evaluator.detector.features(batch.traces)
+        with self.metrics.time("stage.separation.seconds"):
+            events = self.monitor.observe_features(feats)
+        self._account(batch)
+        if events:
+            self.metrics.counter("fleet.alarms").inc(len(events))
+            self.metrics.counter(f"chip.{self.chip_id}.alarms").inc(
+                len(events)
+            )
+            for event in events:
+                # The seq that completed the confirmation streak: the
+                # event's window_index counts this session's ingested
+                # windows, so it maps into this batch.
+                offset = event.window_index - (
+                    self.windows_ingested - len(batch)
+                ) - 1
+                seq = batch.seqs[offset] if 0 <= offset < len(batch) else None
+                self.journal.record(
+                    "alarm",
+                    chip=self.chip_id,
+                    window_index=event.window_index,
+                    seq=seq,
+                    separation=event.separation,
+                    threshold=event.threshold,
+                )
+        return events
+
+    def _account(self, batch: WindowBatch) -> None:
+        self.windows_ingested += len(batch)
+        self.metrics.counter("fleet.windows.ingested").inc(len(batch))
+        self.metrics.counter(f"chip.{self.chip_id}.windows").inc(len(batch))
+        for seq in batch.seqs:
+            if self._last_seq is not None:
+                if seq > self._last_seq + 1:
+                    self.gaps += 1
+                    self.metrics.counter(
+                        f"chip.{self.chip_id}.gaps"
+                    ).inc()
+                elif seq <= self._last_seq:
+                    self.out_of_order += 1
+                    self.metrics.counter(
+                        f"chip.{self.chip_id}.out_of_order"
+                    ).inc()
+            self._last_seq = max(
+                seq, self._last_seq if self._last_seq is not None else seq
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def alarmed(self) -> bool:
+        """True once any alarm has fired on this stream."""
+        return bool(self.monitor.alarms)
+
+    @property
+    def first_alarm(self) -> AlarmEvent | None:
+        return self.monitor.alarms[0] if self.monitor.alarms else None
+
+    def current_separation(self) -> float:
+        return self.monitor.current_separation()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete mutable session state, JSON-encodable.
+
+        Restoring via :meth:`from_state` against the same evaluator
+        resumes the stream bit-identically — same future alarms (same
+        indices and separations) from the same remaining windows.
+        """
+        return {
+            "chip_id": self.chip_id,
+            "last_seq": self._last_seq,
+            "windows_ingested": self.windows_ingested,
+            "gaps": self.gaps,
+            "out_of_order": self.out_of_order,
+            "monitor": self.monitor.state_dict(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        evaluator: RuntimeTrustEvaluator,
+        metrics: MetricsRegistry | None = None,
+        journal: EventJournal | None = None,
+    ) -> "MonitorSession":
+        """Rebuild a session mid-stream from :meth:`state_dict` output."""
+        monitor_state = state["monitor"]
+        session = cls(
+            state["chip_id"],
+            evaluator,
+            window=int(monitor_state["window"]),
+            confirm=int(monitor_state["confirm"]),
+            threshold=float(monitor_state["threshold"]),
+            metrics=metrics,
+            journal=journal,
+        )
+        session.monitor = RuntimeMonitor.from_state(monitor_state, evaluator)
+        session._last_seq = state["last_seq"]
+        session.windows_ingested = int(state["windows_ingested"])
+        session.gaps = int(state["gaps"])
+        session.out_of_order = int(state["out_of_order"])
+        return session

@@ -64,8 +64,7 @@ class TrojanClassifier:
 
     def _offset(self, traces: np.ndarray) -> np.ndarray:
         feats = self.detector.features(traces)
-        assert self.detector._fingerprint is not None
-        return feats.mean(axis=0) - self.detector._fingerprint
+        return feats.mean(axis=0) - self.detector.fingerprint
 
     @property
     def labels(self) -> list[str]:

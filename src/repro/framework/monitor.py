@@ -7,12 +7,21 @@ keeps a sliding record of their distances to the golden fingerprint
 and raises an :class:`AlarmEvent` when the recent separation leaves the
 golden envelope.  Hysteresis (consecutive-window confirmation) keeps a
 single noisy window from tripping the alarm.
+
+Each observation is O(1) in the sliding-window length: a running
+feature sum is maintained alongside the deque (evicted features are
+subtracted, new ones added), so the windowed mean never re-stacks the
+whole window.  The sum is recomputed exactly from the deque every
+:data:`RuntimeMonitor.REFRESH_EVERY` observations to keep float64
+drift bounded on unbounded streams; the refresh schedule is a pure
+function of the observation count, so checkpoint/resume (see
+:meth:`RuntimeMonitor.state_dict`) replays bit-identically.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -33,11 +42,17 @@ class AlarmEvent:
 class RuntimeMonitor:
     """Sliding-window alarm logic on top of a trained evaluator."""
 
+    #: Observations between exact recomputations of the running
+    #: feature sum (drift control; any value reproduces the same
+    #: alarms on the same stream to float64 round-off).
+    REFRESH_EVERY = 4096
+
     def __init__(
         self,
         evaluator: RuntimeTrustEvaluator,
         window: int = 64,
         confirm: int = 3,
+        threshold: float | None = None,
     ) -> None:
         """
         Parameters
@@ -48,6 +63,11 @@ class RuntimeMonitor:
             Number of recent trace windows in the sliding estimate.
         confirm:
             Consecutive out-of-envelope estimates required to alarm.
+        threshold:
+            Explicit separation threshold; ``None`` derives the
+            analytic three-sigma H0 envelope below.  The fleet layer
+            passes the detector's bootstrap floor rescaled to *window*
+            (:func:`repro.fleet.session.floor_scaled_threshold`).
         """
         if window < 2:
             raise AnalysisError(f"window must be >= 2, got {window}")
@@ -57,6 +77,7 @@ class RuntimeMonitor:
         self.window = window
         self.confirm = confirm
         self._features: deque[np.ndarray] = deque(maxlen=window)
+        self._feature_sum: np.ndarray | None = None
         self._streak = 0
         self._count = 0
         self.alarms: list[AlarmEvent] = []
@@ -68,9 +89,15 @@ class RuntimeMonitor:
         detector = evaluator.detector
         if detector.golden_distances is None:
             raise AnalysisError("evaluator's detector is not fitted")
-        d_rms = float(np.sqrt(np.mean(detector.golden_distances**2)))
-        n_golden = detector.golden_distances.shape[0]
-        self.threshold = 3.0 * d_rms * np.sqrt(1.0 / window + 1.0 / n_golden)
+        if threshold is None:
+            d_rms = float(np.sqrt(np.mean(detector.golden_distances**2)))
+            n_golden = detector.golden_distances.shape[0]
+            threshold = float(
+                3.0 * d_rms * np.sqrt(1.0 / window + 1.0 / n_golden)
+            )
+        elif threshold <= 0:
+            raise AnalysisError(f"threshold must be > 0, got {threshold}")
+        self.threshold = float(threshold)
 
     @property
     def windows_seen(self) -> int:
@@ -79,19 +106,53 @@ class RuntimeMonitor:
 
     def current_separation(self) -> float:
         """Separation of the sliding window's mean feature vector."""
-        if not self._features:
+        if not self._features or self._feature_sum is None:
             raise AnalysisError("no windows observed yet")
-        detector = self.evaluator.detector
-        assert detector._fingerprint is not None
-        mean_feat = np.mean(np.stack(self._features), axis=0)
-        return float(np.linalg.norm(mean_feat - detector._fingerprint))
+        mean_feat = self._feature_sum / len(self._features)
+        fingerprint = self.evaluator.detector.fingerprint
+        return float(np.linalg.norm(mean_feat - fingerprint))
 
     def observe(self, trace: np.ndarray) -> AlarmEvent | None:
         """Feed one trace window; returns an alarm if one fires now."""
         detector = self.evaluator.detector
         feat = detector.features(np.atleast_2d(trace))[0]
+        return self._observe_feature(feat)
+
+    def observe_features(self, feats: np.ndarray) -> list[AlarmEvent]:
+        """Feed pre-extracted feature rows; returns every alarm raised.
+
+        The feature-extraction stage (:meth:`EuclideanDetector.
+        features`) is the caller's, which lets batch replay pay it once
+        per batch and lets instrumented callers time the two stages
+        separately (see :mod:`repro.fleet`).
+        """
+        events = []
+        for feat in np.atleast_2d(np.asarray(feats, dtype=np.float64)):
+            event = self._observe_feature(feat)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def observe_stream(self, traces: np.ndarray) -> list[AlarmEvent]:
+        """Feed many windows; returns every alarm raised.
+
+        Features are extracted once on the full batch, so streaming
+        replay does not pay the per-trace extraction overhead.
+        """
+        feats = self.evaluator.detector.features(np.atleast_2d(traces))
+        return self.observe_features(feats)
+
+    def _observe_feature(self, feat: np.ndarray) -> AlarmEvent | None:
+        if self._feature_sum is None:
+            self._feature_sum = np.zeros_like(feat, dtype=np.float64)
+        if len(self._features) == self.window:
+            # The deque is about to evict its oldest entry.
+            self._feature_sum = self._feature_sum - self._features[0]
         self._features.append(feat)
+        self._feature_sum = self._feature_sum + feat
         self._count += 1
+        if self._count % self.REFRESH_EVERY == 0:
+            self._feature_sum = np.stack(self._features).sum(axis=0)
         if len(self._features) < self.window:
             return None
         sep = self.current_separation()
@@ -115,11 +176,53 @@ class RuntimeMonitor:
             return event
         return None
 
-    def observe_stream(self, traces: np.ndarray) -> list[AlarmEvent]:
-        """Feed many windows; returns every alarm raised."""
-        events = []
-        for row in np.atleast_2d(traces):
-            event = self.observe(row)
-            if event is not None:
-                events.append(event)
-        return events
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full mutable state as JSON-encodable primitives.
+
+        Restoring with :meth:`from_state` (against the same evaluator)
+        continues the stream bit-identically: the feature deque, the
+        running sum, the streak, the observation count and the stored
+        threshold all round-trip exactly (Python's JSON float encoding
+        is shortest-round-trip, so every float64 survives).
+        """
+        return {
+            "window": self.window,
+            "confirm": self.confirm,
+            "threshold": self.threshold,
+            "count": self._count,
+            "streak": self._streak,
+            "features": [f.tolist() for f in self._features],
+            "feature_sum": (
+                self._feature_sum.tolist()
+                if self._feature_sum is not None
+                else None
+            ),
+            "alarms": [asdict(a) for a in self.alarms],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, evaluator: RuntimeTrustEvaluator
+    ) -> "RuntimeMonitor":
+        """Rebuild a monitor mid-stream from :meth:`state_dict` output.
+
+        *evaluator* must be the evaluator the state was captured
+        against (same fitted detector); the stored threshold is
+        restored verbatim rather than recomputed, so resumed alarms
+        carry bit-identical thresholds.
+        """
+        monitor = cls(
+            evaluator, window=int(state["window"]), confirm=int(state["confirm"])
+        )
+        monitor.threshold = float(state["threshold"])
+        monitor._count = int(state["count"])
+        monitor._streak = int(state["streak"])
+        for feat in state["features"]:
+            monitor._features.append(np.asarray(feat, dtype=np.float64))
+        if state["feature_sum"] is not None:
+            monitor._feature_sum = np.asarray(
+                state["feature_sum"], dtype=np.float64
+            )
+        monitor.alarms = [AlarmEvent(**a) for a in state["alarms"]]
+        return monitor

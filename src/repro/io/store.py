@@ -95,12 +95,15 @@ def _json_default(obj):
     raise TypeError(f"not JSON-serialisable: {type(obj)!r}")
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
     """Write *payload* to *path* via a same-directory temp + rename.
 
     The rename is atomic on POSIX, so concurrent writers (parallel
-    campaign workers sharing a cache directory) can only ever observe
-    complete files, never partially written ones.
+    campaign workers sharing a cache directory) and crash-interrupted
+    ones can only ever leave complete files behind, never partially
+    written ones.  This is the store-wide write convention: the trace
+    cache, the v2 payload/sidecar writer and the fleet event journal
+    all route through it.
     """
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -128,6 +131,10 @@ def _manifest_for(bundle: TraceBundle, version: int) -> dict:
         "shape": list(bundle.traces.shape),
         "dtype": str(bundle.traces.dtype),
     }
+
+
+#: Backwards-compatible private alias (pre-fleet call sites).
+_atomic_write_bytes = atomic_write_bytes
 
 
 def _sidecar_for(payload: Path) -> Path:

@@ -190,3 +190,19 @@ def test_state_dict_roundtrip_bit_identical(rng):
 def test_state_dict_requires_fit():
     with pytest.raises(AnalysisError):
         EuclideanDetector().state_dict()
+
+
+def test_fingerprint_property_is_public_and_read_only(rng):
+    det = EuclideanDetector().fit(_golden(rng))
+    fingerprint = det.fingerprint
+    assert np.array_equal(fingerprint, det._fingerprint)
+    assert not fingerprint.flags.writeable
+    with pytest.raises(ValueError):
+        fingerprint[0] = 0.0
+    # The backing array is untouched by the read-only view.
+    assert np.array_equal(det.fingerprint, det._fingerprint)
+
+
+def test_fingerprint_property_requires_fit():
+    with pytest.raises(AnalysisError):
+        EuclideanDetector().fingerprint
