@@ -1,98 +1,41 @@
-"""One-shot paper reproduction: run every table/figure experiment and
-write a machine-readable report.
+"""One-shot paper reproduction through the experiment registry.
 
-This is the scripted equivalent of the benchmark suite, for users who
-want the numbers (JSON + stdout) without pytest.  Expect ~10 minutes.
+The scripted equivalent of ``repro run --all``: every registered
+table/figure experiment runs at full size and writes one validated
+``RunResult`` JSON artifact (config snapshot + per-stage metrics +
+the numbers).  Kept as the library-usage example of the registry API;
+prefer the ``repro`` console script for day-to-day runs.
 
-Run:  python examples/reproduce_paper.py [output.json]
+Run:  python examples/reproduce_paper.py [out_dir] [--smoke]
 """
 
 from __future__ import annotations
 
 import sys
 import time
+from pathlib import Path
 
-from repro.chip import silicon_scenario, simulation_scenario
-from repro.chip.calibration import calibrate_scenario
-from repro.experiments import (
-    run_a2_spectrum,
-    run_euclidean_experiment,
-    run_fig6_histograms,
-    run_fig6_spectra,
-    run_snr_experiment,
-    run_table1,
-    shared_chip,
-)
-from repro.io import save_json_report
+from repro.experiments import all_specs, run_experiment
 
 
 def main() -> None:
-    out_path = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.json"
+    args = [a for a in sys.argv[1:] if a != "--smoke"]
+    smoke = "--smoke" in sys.argv[1:]
+    out_dir = Path(args[0]) if args else Path("reproduction_report")
     t0 = time.time()
-    report: dict = {}
 
-    print("building the test chip...")
-    chip = shared_chip(seed=1)
-    sim = calibrate_scenario(chip, simulation_scenario())
-    sil = calibrate_scenario(chip, silicon_scenario())
+    specs = all_specs()
+    for i, spec in enumerate(specs, 1):
+        print(f"\n[{i}/{len(specs)}] {spec.title}")
+        result = run_experiment(spec.name, smoke=smoke)
+        print(result.text)
+        path = result.save(out_dir / f"{spec.name}.json")
+        print(f"artifact: {path}  ({result.elapsed_seconds:.1f}s)")
 
-    print("\n[Table I] Trojan sizes")
-    table1 = run_table1(chip)
-    print(table1.format())
-    report["table1"] = {
-        row.circuit: {"gates": row.gate_count, "percent": row.percentage}
-        for row in table1.rows
-    }
-
-    for label, scenario in (("IV-B", sim), ("V-A", sil)):
-        print(f"\n[{label}] SNR")
-        snr = run_snr_experiment(chip, scenario)
-        print(snr.format())
-        report[f"snr_{scenario.name}"] = {
-            name: res.snr_db for name, res in snr.per_receiver.items()
-        }
-
-    print("\n[IV-C] Euclidean distances")
-    euclid = run_euclidean_experiment(chip, sim)
-    print(euclid.format())
-    report["euclidean"] = euclid.separations
-
-    print("\n[Fig. 4] A2 spectrum")
-    a2 = run_a2_spectrum(chip, sim, n_cycles=2048)
-    print(a2.format())
-    report["fig4"] = {
-        "trigger_mhz": a2.trigger_frequency / 1e6,
-        "gain": a2.magnitude_ratio_at_trigger(),
-        "detected": a2.detected,
-    }
-
-    for receiver in ("probe", "sensor"):
-        print(f"\n[Fig. 6] {receiver} histograms")
-        hist = run_fig6_histograms(
-            chip, sil, receiver, n_golden=800, n_suspect=800
-        )
-        print(hist.format())
-        report[f"fig6_{receiver}"] = {
-            name: {
-                "overlap": panel.overlap,
-                "peak_shift_sigma": panel.peak_shift_sigma,
-            }
-            for name, panel in hist.panels.items()
-        }
-
-    print("\n[Fig. 6 i-l] sensor spectra")
-    spectra = run_fig6_spectra(chip, sil, n_cycles=2048)
-    print(spectra.format())
-    report["fig6_spectra"] = {
-        name: {
-            "low_freq_energy_ratio": p.low_freq_energy_ratio,
-            "total_energy_ratio": p.total_energy_ratio,
-        }
-        for name, p in spectra.panels.items()
-    }
-
-    save_json_report(report, out_path)
-    print(f"\nreport written to {out_path} ({time.time() - t0:.0f}s total)")
+    print(
+        f"\n{len(specs)} artifacts in {out_dir}/ "
+        f"({time.time() - t0:.0f}s total)"
+    )
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.logic.simulator import (
     resolve_backend,
     unpack_bits,
 )
+from repro.obs import active_metrics
 from repro.power.pulse import (
     current_kernel,
     emf_kernel,
@@ -303,12 +304,20 @@ class AcquisitionEngine:
             [sim.net_index[net] for net in watch.values()], dtype=np.int64
         )
 
+        # Per-stage observability: which backend ran, and how long the
+        # cycle loop took, land in the active metrics registry (and so
+        # in every saved RunResult artifact).
+        metrics = active_metrics()
+        metrics.counter(f"sim.backend.{backend}").inc()
+        metrics.counter("acquire.cycles").inc(n_cycles * batch)
+
         run = self._run_cycles_reference if reference_fold else (
             self._run_cycles_blocked
         )
-        clock_en, rec_full = run(
-            state, workload, n_cycles, batch, acc_list, watch_idx
-        )
+        with metrics.time("stage.sim_cycles.seconds"):
+            clock_en, rec_full = run(
+                state, workload, n_cycles, batch, acc_list, watch_idx
+            )
 
         n_samples = (n_cycles + 1) * cfg.samples_per_cycle
         rec_arrays = {
@@ -316,18 +325,19 @@ class AcquisitionEngine:
         }
 
         traces: dict[str, np.ndarray] = {}
-        for name in names:
-            traces[name] = self._synthesize_receiver(
-                name,
-                accumulators[name].result(),
-                clock_en,
-                rec_arrays,
-                n_cycles,
-                n_samples,
-                batch,
-                include_noise,
-                rng,
-            )
+        with metrics.time("stage.synthesize.seconds"):
+            for name in names:
+                traces[name] = self._synthesize_receiver(
+                    name,
+                    accumulators[name].result(),
+                    clock_en,
+                    rec_arrays,
+                    n_cycles,
+                    n_samples,
+                    batch,
+                    include_noise,
+                    rng,
+                )
         public_recorded = {
             label: arr
             for label, arr in rec_arrays.items()

@@ -1,0 +1,318 @@
+"""Unified runtime configuration — every ``REPRO_*`` knob in one place.
+
+The reproduction grew one environment variable at a time: the EM
+kernels read ``REPRO_EM_CHUNK_MB``, the campaign runner read
+``REPRO_WORKERS`` and ``REPRO_FORCE_POOL``, the simulator read
+``REPRO_SIM_BACKEND``, the trace cache read ``REPRO_CACHE_DIR`` /
+``REPRO_CACHE_MB`` and the CI jobs read ``REPRO_BENCH_SMOKE`` — each
+parsed independently at its point of use.  :class:`ReproConfig` is the
+single resolution point for all of them, with an explicit precedence:
+
+    call argument  >  environment variable  >  built-in default
+
+The environment variable *names* are unchanged — they are the config's
+inputs, not a parallel configuration path.  Consumers
+(:func:`repro.em.chunking.resolve_chunk_bytes`,
+:func:`repro.experiments.parallel.resolve_workers`,
+:func:`repro.logic.simulator.resolve_backend`,
+:meth:`repro.io.cache.TraceCache.from_env`, the fleet scheduler and
+the ``repro`` CLI) all read the *active* config, which is re-resolved
+from the environment on every access unless an explicit config has
+been installed with :func:`use_config` — so tests that flip an
+environment variable keep seeing the change immediately, while the
+CLI can pin one immutable snapshot for a whole run.
+
+:meth:`ReproConfig.describe` produces the JSON snapshot embedded in
+every saved :class:`~repro.experiments.result.RunResult` artifact;
+:meth:`ReproConfig.from_snapshot` round-trips it.
+
+See ``docs/CONFIG.md`` for the full knob table.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, fields
+from typing import Iterator, Mapping
+
+from repro.errors import (
+    ConfigError,
+    EmModelError,
+    ExperimentError,
+    SimulationError,
+)
+
+# -- environment variable names (the historical, stable API) -----------
+
+#: Worker-process count for parallel campaign fan-out.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Set to ``1`` to keep the process pool even on single-CPU hosts.
+FORCE_POOL_ENV_VAR = "REPRO_FORCE_POOL"
+
+#: Simulation backend: ``auto`` (default), ``bool`` or ``packed``.
+BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
+
+#: EM-kernel transient-buffer budget, in mebibytes.
+CHUNK_ENV_VAR = "REPRO_EM_CHUNK_MB"
+
+#: Trace-cache directory (unset/empty = cache off).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Trace-cache size budget, in mebibytes.
+CACHE_MB_ENV = "REPRO_CACHE_MB"
+
+#: Set to ``1`` to select reduced CI smoke sizes everywhere.
+SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
+
+# -- built-in defaults -------------------------------------------------
+
+#: Default cap on an EM kernel's transient broadcast buffers [bytes].
+DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
+
+#: Default trace-cache size budget when :data:`CACHE_MB_ENV` is unset [MiB].
+DEFAULT_CACHE_MB = 2048
+
+#: Valid simulation backend names.
+SIM_BACKENDS = ("auto", "bool", "packed")
+
+
+def _parse_workers(raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
+        ) from None
+
+
+def _parse_chunk_mb(raw: str) -> int:
+    try:
+        return int(float(raw) * 1024 * 1024)
+    except ValueError:
+        raise EmModelError(f"{CHUNK_ENV_VAR}={raw!r} is not a number") from None
+
+
+def _parse_cache_mb(raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{CACHE_MB_ENV}={raw!r} is not an integer"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Frozen, validated snapshot of every runtime knob.
+
+    Build one with :meth:`resolve` (argument > environment > default)
+    or directly with keyword arguments (argument > default, the
+    environment ignored).  Validation runs on construction, so an
+    invalid value fails at the configuration boundary, not deep inside
+    a kernel.
+    """
+
+    #: Campaign worker processes; ``None`` means "one per host CPU".
+    workers: int | None = None
+    #: Keep the process pool even where the single-CPU auto-degrade
+    #: heuristic would run serially.
+    force_pool: bool = False
+    #: Logic-simulation backend (``auto`` picks packed from batch 64).
+    sim_backend: str = "auto"
+    #: EM-kernel transient-buffer budget [bytes].
+    em_chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    #: Trace-cache directory; ``None`` disables the cache.
+    cache_dir: str | None = None
+    #: Trace-cache LRU size budget [MiB].
+    cache_mb: int = DEFAULT_CACHE_MB
+    #: Reduced CI smoke sizes (benchmarks, fleet campaign, ``repro
+    #: run --all``).
+    bench_smoke: bool = False
+    #: Host CPU count snapshot; ``0`` means "detect now".  The
+    #: single-CPU pool auto-degrade decision is taken from this field,
+    #: once, instead of re-reading ``os.cpu_count()`` at every
+    #: ``run_campaigns`` call.
+    host_cpus: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(
+                self.workers, bool
+            ):
+                raise ConfigError(
+                    f"workers must be an int or None, got {self.workers!r}"
+                )
+            if self.workers < 1:
+                raise ExperimentError(
+                    f"worker count must be >= 1, got {self.workers}"
+                )
+        for name in ("force_pool", "bench_smoke"):
+            if not isinstance(getattr(self, name), bool):
+                raise ConfigError(
+                    f"{name} must be a bool, got {getattr(self, name)!r}"
+                )
+        if self.sim_backend not in SIM_BACKENDS:
+            raise SimulationError(
+                f"unknown simulation backend {self.sim_backend!r}; "
+                "expected 'auto', 'bool' or 'packed'"
+            )
+        if not isinstance(self.em_chunk_bytes, int) or isinstance(
+            self.em_chunk_bytes, bool
+        ):
+            raise ConfigError(
+                f"em_chunk_bytes must be an int, got {self.em_chunk_bytes!r}"
+            )
+        if self.em_chunk_bytes <= 0:
+            raise EmModelError(
+                f"chunk budget must be positive, got {self.em_chunk_bytes}"
+            )
+        if self.cache_dir is not None and not self.cache_dir:
+            object.__setattr__(self, "cache_dir", None)
+        if not isinstance(self.cache_mb, int) or isinstance(
+            self.cache_mb, bool
+        ):
+            raise ConfigError(
+                f"cache_mb must be an int, got {self.cache_mb!r}"
+            )
+        if self.cache_mb <= 0:
+            raise ExperimentError(
+                f"cache size budget must be positive, got {self.cache_mb}"
+            )
+        if not isinstance(self.host_cpus, int) or isinstance(
+            self.host_cpus, bool
+        ):
+            raise ConfigError(
+                f"host_cpus must be an int, got {self.host_cpus!r}"
+            )
+        if self.host_cpus < 0:
+            raise ConfigError(
+                f"host_cpus must be >= 0, got {self.host_cpus}"
+            )
+        if self.host_cpus == 0:
+            object.__setattr__(self, "host_cpus", os.cpu_count() or 1)
+
+    # -- resolution ----------------------------------------------------
+    @classmethod
+    def resolve(
+        cls,
+        environ: Mapping[str, str] | None = None,
+        **overrides,
+    ) -> "ReproConfig":
+        """Resolve a config: override argument > environment > default.
+
+        *overrides* use the dataclass field names (``workers=4``,
+        ``sim_backend="bool"``, ``em_chunk_bytes=...``); an override
+        that is present always wins over the environment variable, even
+        when the override re-states the default.  *environ* substitutes
+        for ``os.environ`` (tests).
+        """
+        env = os.environ if environ is None else environ
+        known = {f.name for f in fields(cls)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown config override(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        values = dict(overrides)
+
+        def from_env(field_name: str, env_var: str, parse) -> None:
+            if field_name in values:
+                return
+            raw = env.get(env_var)
+            if raw is not None:
+                values[field_name] = parse(raw)
+
+        from_env("workers", WORKERS_ENV_VAR, _parse_workers)
+        from_env("force_pool", FORCE_POOL_ENV_VAR, lambda raw: raw == "1")
+        from_env("sim_backend", BACKEND_ENV_VAR, str)
+        from_env("em_chunk_bytes", CHUNK_ENV_VAR, _parse_chunk_mb)
+        from_env("cache_dir", CACHE_DIR_ENV, lambda raw: raw or None)
+        from_env("cache_mb", CACHE_MB_ENV, _parse_cache_mb)
+        from_env("bench_smoke", SMOKE_ENV_VAR, lambda raw: raw == "1")
+        return cls(**values)
+
+    # -- derived views -------------------------------------------------
+    @property
+    def pool_allowed(self) -> bool:
+        """Whether campaign fan-out may use a process pool at all.
+
+        On a single-CPU host fork + pickle overhead loses to the serial
+        loop (measured 0.79×), so the pool degrades to serial there
+        unless :attr:`force_pool` is set.  The decision is a pure
+        function of this (frozen) config — it is taken once at
+        resolution time, not re-derived from the environment on every
+        ``run_campaigns`` call.
+        """
+        return self.force_pool or self.host_cpus > 1
+
+    def effective_workers(self) -> int:
+        """The resolved worker count (``workers`` or one per CPU)."""
+        return self.workers if self.workers is not None else self.host_cpus
+
+    def cache_bytes(self) -> int | None:
+        """Cache size budget in bytes, or ``None`` when the cache is off."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_mb * 1024 * 1024
+
+    # -- snapshots -----------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-encodable snapshot of every knob.
+
+        Embedded in every saved :class:`~repro.experiments.result.
+        RunResult` artifact so a result file records the exact runtime
+        configuration that produced it;
+        :meth:`from_snapshot` reconstructs an equal config.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "ReproConfig":
+        """Inverse of :meth:`describe`."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(snapshot) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown config snapshot key(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        values = dict(snapshot)
+        if values.get("cache_dir") is not None:
+            values["cache_dir"] = str(values["cache_dir"])
+        return cls(**values)
+
+
+# -- the active config -------------------------------------------------
+
+_ACTIVE: list[ReproConfig] = []
+
+
+def active_config() -> ReproConfig:
+    """The config every consumer reads.
+
+    Returns the innermost config installed with :func:`use_config`
+    when one is active; otherwise resolves a fresh snapshot from the
+    environment, so flipping a ``REPRO_*`` variable (as the tests do)
+    takes effect on the very next call.
+    """
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    return ReproConfig.resolve()
+
+
+@contextlib.contextmanager
+def use_config(config: ReproConfig) -> Iterator[ReproConfig]:
+    """Pin *config* as the active config for the enclosed block.
+
+    While pinned, the environment is **not** consulted — the installed
+    config wins over any ``REPRO_*`` variable (argument > env).  Nests:
+    the innermost pin wins; the previous config is restored on exit.
+    """
+    _ACTIVE.append(config)
+    try:
+        yield config
+    finally:
+        _ACTIVE.pop()

@@ -9,21 +9,22 @@ numpy amortises per-call overhead, small enough to stay cache- and
 RAM-friendly.
 
 The budget is configurable per call (``chunk_bytes=``) or process-wide
-through the ``REPRO_EM_CHUNK_MB`` environment variable; see
-``docs/PERFORMANCE.md``.
+through the ``REPRO_EM_CHUNK_MB`` environment variable, resolved by
+:mod:`repro.config`; see ``docs/CONFIG.md`` and ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
-import os
-
+from repro.config import CHUNK_ENV_VAR, DEFAULT_CHUNK_BYTES, active_config
 from repro.errors import EmModelError
 
-#: Default cap on a kernel's transient broadcast buffers [bytes].
-DEFAULT_CHUNK_BYTES = 64 * 1024 * 1024
-
-#: Environment variable overriding the default budget, in mebibytes.
-CHUNK_ENV_VAR = "REPRO_EM_CHUNK_MB"
+__all__ = [
+    "CHUNK_ENV_VAR",
+    "DEFAULT_CHUNK_BYTES",
+    "CACHE_CHUNK_BYTES",
+    "resolve_chunk_bytes",
+    "rows_per_chunk",
+]
 
 #: Preferred working-set size for elementwise kernel chunks [bytes].
 #: The EM kernels are memory-bandwidth-bound, so chunks that keep all
@@ -33,24 +34,16 @@ CHUNK_ENV_VAR = "REPRO_EM_CHUNK_MB"
 CACHE_CHUNK_BYTES = 4 * 1024 * 1024
 
 
-def resolve_chunk_bytes(chunk_bytes: int | None) -> int:
+def resolve_chunk_bytes(chunk_bytes: int | None = None) -> int:
     """Return the effective temporary-buffer budget in bytes.
 
     Precedence: explicit *chunk_bytes* argument, then the
     ``REPRO_EM_CHUNK_MB`` environment variable, then
-    :data:`DEFAULT_CHUNK_BYTES`.
+    :data:`DEFAULT_CHUNK_BYTES` — the standard
+    :mod:`repro.config` resolution order.
     """
     if chunk_bytes is None:
-        env = os.environ.get(CHUNK_ENV_VAR)
-        if env is not None:
-            try:
-                chunk_bytes = int(float(env) * 1024 * 1024)
-            except ValueError:
-                raise EmModelError(
-                    f"{CHUNK_ENV_VAR}={env!r} is not a number"
-                ) from None
-        else:
-            chunk_bytes = DEFAULT_CHUNK_BYTES
+        return active_config().em_chunk_bytes
     if chunk_bytes <= 0:
         raise EmModelError(f"chunk budget must be positive, got {chunk_bytes}")
     return chunk_bytes

@@ -51,3 +51,16 @@ class TrojanError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ConfigError(ReproError):
+    """Invalid runtime configuration (:mod:`repro.config`).
+
+    Raised for problems with the configuration *surface* itself —
+    unknown override names, malformed snapshots, wrong value types.
+    Knobs that predate the unified config keep raising their historical
+    domain error (:class:`EmModelError` for the EM chunk budget,
+    :class:`SimulationError` for the simulator backend,
+    :class:`ExperimentError` for worker counts and cache sizes) so
+    callers that already handle those keep working.
+    """

@@ -57,6 +57,16 @@ from repro.experiments.leakage import (
     run_fixed_vs_random_tvla,
     run_trojan_tvla,
 )
+from repro.experiments.result import RunResult, validate_payload
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentSpec,
+    RunContext,
+    all_specs,
+    get_spec,
+    run_experiment,
+    validate_artifact,
+)
 
 __all__ = [
     "DEFAULT_KEY",
@@ -92,4 +102,13 @@ __all__ = [
     "run_localization",
     "run_fixed_vs_random_tvla",
     "run_trojan_tvla",
+    "RunResult",
+    "validate_payload",
+    "REGISTRY",
+    "ExperimentSpec",
+    "RunContext",
+    "all_specs",
+    "get_spec",
+    "run_experiment",
+    "validate_artifact",
 ]

@@ -47,6 +47,7 @@ from repro.chip.scenario import Scenario
 from repro.errors import ExperimentError
 from repro.io.cache import PipelineKey, TraceCache, configured_cache
 from repro.io.store import TraceBundle
+from repro.obs import active_metrics
 
 #: The fixed secret key all campaigns encrypt under.
 DEFAULT_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
@@ -364,12 +365,14 @@ def get_or_generate_traces(
             f"unknown campaign kind {kind!r}; expected one of "
             f"{tuple(TRACE_COLLECTORS)}"
         )
+    metrics = active_metrics()
     if cache is None:
         cache = configured_cache()
     elif cache is False:
         cache = None
     if cache is None:
-        return TRACE_COLLECTORS[kind](chip, scenario, **params)
+        with metrics.time("stage.traces.generate.seconds"):
+            return TRACE_COLLECTORS[kind](chip, scenario, **params)
 
     key = campaign_pipeline_key(chip, scenario, kind, params)
     receivers = _campaign_receivers(chip, kind, params)
@@ -380,9 +383,12 @@ def get_or_generate_traces(
             break
         cached[name] = bundle.traces
     if len(cached) == len(receivers):
+        metrics.counter("traces.cache.hit").inc()
         return cached
 
-    fresh = TRACE_COLLECTORS[kind](chip, scenario, **params)
+    metrics.counter("traces.cache.miss").inc()
+    with metrics.time("stage.traces.generate.seconds"):
+        fresh = TRACE_COLLECTORS[kind](chip, scenario, **params)
     trojan_enables = tuple(params.get("trojan_enables", ()))
     for name, traces in fresh.items():
         cache.put_bundle(

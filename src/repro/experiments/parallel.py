@@ -28,27 +28,21 @@ fan-out actually pays off.
 from __future__ import annotations
 
 import multiprocessing
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario
+# WORKERS_ENV_VAR / FORCE_POOL_ENV_VAR are re-exported here for
+# backwards compatibility; their resolution lives in repro.config.
+from repro.config import FORCE_POOL_ENV_VAR, WORKERS_ENV_VAR, active_config
 from repro.errors import ExperimentError
 from repro.experiments.campaign import (
     TRACE_COLLECTORS,
     get_or_generate_traces,
     shared_chip,
 )
-
-#: Environment variable overriding the default worker count.
-WORKERS_ENV_VAR = "REPRO_WORKERS"
-
-#: Set to ``1`` to keep the process pool even where the auto-degrade
-#: heuristic would run serially (single-CPU hosts) — used by the tests
-#: that verify pool output equals serial output.
-FORCE_POOL_ENV_VAR = "REPRO_FORCE_POOL"
 
 #: Campaign kinds understood by the runner (the collector registry).
 CAMPAIGN_KINDS = tuple(TRACE_COLLECTORS)
@@ -117,18 +111,14 @@ def register_chip(chip: Chip) -> None:
 
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Effective worker count: argument, ``REPRO_WORKERS``, cpu count."""
+    """Effective worker count: argument, ``REPRO_WORKERS``, cpu count.
+
+    Resolution goes through :func:`repro.config.active_config`, so a
+    config pinned with :func:`repro.config.use_config` beats the
+    environment variable.
+    """
     if workers is None:
-        env = os.environ.get(WORKERS_ENV_VAR)
-        if env is not None:
-            try:
-                workers = int(env)
-            except ValueError:
-                raise ExperimentError(
-                    f"{WORKERS_ENV_VAR}={env!r} is not an integer"
-                ) from None
-        else:
-            workers = os.cpu_count() or 1
+        workers = active_config().effective_workers()
     if workers < 1:
         raise ExperimentError(f"worker count must be >= 1, got {workers}")
     return workers
@@ -174,12 +164,10 @@ def run_campaigns(
     # More workers than campaigns only adds idle processes; a pool on a
     # single CPU only adds fork + pickle overhead (measured 0.79× of
     # serial) — degrade to the bit-identical serial loop in both cases.
+    # The single-CPU/force-pool decision is taken once by ReproConfig
+    # (config override > REPRO_FORCE_POOL), not re-read per call here.
     n_workers = min(resolve_workers(workers), len(spec_list))
-    if (
-        n_workers > 1
-        and (os.cpu_count() or 1) <= 1
-        and os.environ.get(FORCE_POOL_ENV_VAR) != "1"
-    ):
+    if n_workers > 1 and not active_config().pool_allowed:
         n_workers = 1
     if n_workers <= 1 or len(spec_list) <= 1:
         return {spec.name: _run_one(spec) for spec in spec_list}

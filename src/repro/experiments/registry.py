@@ -1,0 +1,590 @@
+"""Declarative experiment registry behind the ``repro`` CLI.
+
+One :class:`ExperimentSpec` per reproduced table/figure: the spec
+names the experiment, states which measurement scenario it needs,
+carries both a full-size and a smoke-size parameter set, and declares
+the JSON schema of the artifact payload.  :func:`run_experiment` is
+the single execution path — it pins the resolved
+:class:`~repro.config.ReproConfig`, scopes a fresh
+:class:`~repro.obs.MetricsRegistry` to the run, invokes the driver,
+and returns a validated
+:class:`~repro.experiments.result.RunResult`.
+
+The runners are thin adapters over the existing drivers
+(:func:`~repro.experiments.table1.run_table1` & co.) — the drivers
+stay the API for programmatic use and keep producing the exact same
+numbers; the registry only standardises invocation and artifact
+shape.  ``examples/reproduce_paper.py`` and CI's ``cli-smoke`` job
+both run through here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.chip import silicon_scenario, simulation_scenario
+from repro.config import ReproConfig, active_config, use_config
+from repro.errors import ExperimentError
+from repro.experiments.ablation import sweep_pca_dimensions, threshold_study
+from repro.experiments.baseline_power import (
+    build_power_baseline_chip,
+    run_power_baseline,
+)
+from repro.experiments.campaign import calibrated, shared_chip
+from repro.experiments.euclidean import run_euclidean_experiment
+from repro.experiments.fig4 import run_a2_spectrum
+from repro.experiments.fig6 import run_fig6_histograms, run_fig6_spectra
+from repro.experiments.latency import run_detection_latency
+from repro.experiments.leakage import (
+    run_fixed_vs_random_tvla,
+    run_trojan_tvla,
+)
+from repro.experiments.localization import run_localization
+from repro.experiments.result import RunResult
+from repro.experiments.snr import run_snr_experiment
+from repro.experiments.table1 import run_table1
+from repro.obs import use_metrics
+
+
+@dataclass
+class RunContext:
+    """What a runner gets: the pinned config, the seed, chip helpers."""
+
+    config: ReproConfig
+    seed: int
+    smoke: bool
+
+    def chip(self):
+        """The shared (memoised) standard test chip for this seed."""
+        return shared_chip(seed=self.seed)
+
+    def scenario(self, kind: str):
+        """A calibrated measurement scenario (``sim`` or ``sil``)."""
+        base = {
+            "sim": simulation_scenario,
+            "sil": silicon_scenario,
+        }[kind]()
+        return calibrated(self.chip(), base)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: driver + sizes + artifact schema."""
+
+    name: str
+    title: str
+    #: Measurement scenario the runner uses: "sim", "sil" or "none".
+    scenario: str
+    runner: Callable[..., tuple[dict, str]]
+    params: Mapping = field(default_factory=dict)
+    smoke_params: Mapping = field(default_factory=dict)
+    schema: Mapping = field(default_factory=dict)
+    paper_ref: str = ""
+
+    def run_params(self, smoke: bool) -> dict:
+        return dict(self.smoke_params if smoke else self.params)
+
+
+REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.name in REGISTRY:
+        raise ExperimentError(f"duplicate experiment spec {spec.name!r}")
+    REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+def all_specs() -> tuple[ExperimentSpec, ...]:
+    return tuple(REGISTRY[name] for name in sorted(REGISTRY))
+
+
+def run_experiment(
+    name: str,
+    smoke: bool = False,
+    seed: int = 1,
+    config: ReproConfig | None = None,
+    params: Mapping | None = None,
+) -> RunResult:
+    """Run one registered experiment and return its validated artifact.
+
+    *config* defaults to the active configuration (environment +
+    defaults) and is pinned for the whole run, so every knob the
+    drivers consult is decided once up front and recorded verbatim in
+    the artifact.  A fresh metrics registry is scoped to the run; the
+    snapshot that lands in the artifact covers exactly this run.
+    """
+    spec = get_spec(name)
+    cfg = config if config is not None else active_config()
+    run_params = spec.run_params(smoke)
+    if params:
+        unknown = sorted(set(params) - set(run_params))
+        if unknown:
+            raise ExperimentError(
+                f"unknown parameters {unknown} for experiment {name!r}"
+            )
+        run_params.update(params)
+    ctx = RunContext(config=cfg, seed=seed, smoke=smoke)
+    start = time.perf_counter()
+    with use_config(cfg), use_metrics() as metrics:
+        payload, text = spec.runner(ctx, **run_params)
+        snapshot = metrics.snapshot()
+    result = RunResult(
+        spec=spec.name,
+        scenario=spec.scenario,
+        seed=seed,
+        smoke=smoke,
+        config=cfg.describe(),
+        metrics=snapshot,
+        payload=payload,
+        text=text,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+    return result.validate(spec.schema)
+
+
+def validate_artifact(result: RunResult) -> RunResult:
+    """Validate a (possibly loaded) artifact against its spec schema."""
+    return result.validate(get_spec(result.spec).schema)
+
+
+# ---------------------------------------------------------------------------
+# Runners.  Each returns (payload, formatted_text); payloads hold only
+# JSON scalars/dicts/lists and reproduce the numbers of a direct
+# driver call with the same arguments, bit for bit.
+
+
+def _run_table1(ctx: RunContext) -> tuple[dict, str]:
+    result = run_table1(ctx.chip())
+    payload = {
+        "rows": {
+            row.circuit: {
+                "gates": row.gate_count,
+                "percent": row.percentage,
+                "area_based": row.is_area_percentage,
+            }
+            for row in result.rows
+        }
+    }
+    return payload, result.format()
+
+
+def _run_snr(ctx: RunContext, scenario: str, n_cycles: int, batch: int):
+    result = run_snr_experiment(
+        ctx.chip(), ctx.scenario(scenario), n_cycles=n_cycles, batch=batch
+    )
+    payload = {
+        "scenario": result.scenario,
+        "snr_db": {
+            name: res.snr_db for name, res in result.per_receiver.items()
+        },
+    }
+    return payload, result.format()
+
+
+def _run_euclidean(
+    ctx: RunContext,
+    receiver: str,
+    n_golden: int,
+    n_suspect: int,
+    trojans: tuple,
+):
+    result = run_euclidean_experiment(
+        ctx.chip(),
+        ctx.scenario("sim"),
+        receiver=receiver,
+        n_golden=n_golden,
+        n_suspect=n_suspect,
+        trojans=tuple(trojans),
+    )
+    payload = {
+        "receiver": result.receiver,
+        "threshold": result.threshold,
+        "separations": dict(result.separations),
+    }
+    return payload, result.format()
+
+
+def _run_fig4(ctx: RunContext, n_cycles: int):
+    result = run_a2_spectrum(ctx.chip(), ctx.scenario("sim"), n_cycles=n_cycles)
+    payload = {
+        "trigger_mhz": result.trigger_frequency / 1e6,
+        "gain": result.magnitude_ratio_at_trigger(),
+        "detected": result.detected,
+    }
+    return payload, result.format()
+
+
+def _run_fig6_histograms(
+    ctx: RunContext, receivers: tuple, n_golden: int, n_suspect: int
+):
+    payload: dict = {"receivers": {}}
+    texts = []
+    for receiver in receivers:
+        result = run_fig6_histograms(
+            ctx.chip(),
+            ctx.scenario("sil"),
+            receiver,
+            n_golden=n_golden,
+            n_suspect=n_suspect,
+        )
+        payload["receivers"][receiver] = {
+            name: {
+                "overlap": panel.overlap,
+                "peak_shift_sigma": panel.peak_shift_sigma,
+                "separable": panel.peaks_separable,
+            }
+            for name, panel in result.panels.items()
+        }
+        texts.append(result.format())
+    return payload, "\n\n".join(texts)
+
+
+def _run_fig6_spectra(ctx: RunContext, n_cycles: int):
+    result = run_fig6_spectra(
+        ctx.chip(), ctx.scenario("sil"), n_cycles=n_cycles
+    )
+    payload = {
+        "panels": {
+            name: {
+                "low_freq_energy_ratio": p.low_freq_energy_ratio,
+                "total_energy_ratio": p.total_energy_ratio,
+            }
+            for name, p in result.panels.items()
+        }
+    }
+    return payload, result.format()
+
+
+def _run_latency(
+    ctx: RunContext,
+    n_reference: int,
+    golden_prefix: int,
+    horizon: int,
+    window: int,
+    confirm: int,
+):
+    result = run_detection_latency(
+        ctx.chip(),
+        ctx.scenario("sim"),
+        n_reference=n_reference,
+        golden_prefix=golden_prefix,
+        horizon=horizon,
+        window=window,
+        confirm=confirm,
+    )
+    payload = {
+        "horizon": result.horizon,
+        "window_seconds": result.window_seconds,
+        "false_alarms_on_golden": result.false_alarms_on_golden,
+        "latency_windows": dict(result.latency_windows),
+    }
+    return payload, result.format()
+
+
+def _run_ablation(
+    ctx: RunContext, n_golden: int, n_suspect: int, depths: tuple
+):
+    chip, scenario = ctx.chip(), ctx.scenario("sim")
+    pca = sweep_pca_dimensions(
+        chip,
+        scenario,
+        depths=tuple(depths),
+        n_golden=n_golden,
+        n_suspect=n_suspect,
+    )
+    thresholds = threshold_study(
+        chip, scenario, n_golden=n_golden, n_suspect=n_suspect
+    )
+    payload = {
+        "pca": [
+            {
+                "n_components": p.n_components,
+                "auc": p.auc,
+                "separation": p.separation,
+            }
+            for p in pca
+        ],
+        "thresholds": [
+            {
+                "rule": t.rule,
+                "threshold": t.threshold,
+                "true_positive_rate": t.true_positive_rate,
+                "false_positive_rate": t.false_positive_rate,
+            }
+            for t in thresholds
+        ],
+    }
+    lines = ["PCA depth sweep (trojan4)"]
+    for p in pca:
+        depth = "full" if p.n_components is None else str(p.n_components)
+        lines.append(
+            f"  k={depth:<5} auc={p.auc:.3f} separation={p.separation:.3f}"
+        )
+    lines.append("threshold study (trojan4)")
+    for t in thresholds:
+        lines.append(
+            f"  {t.rule:<8} thr={t.threshold:.3f} "
+            f"tpr={t.true_positive_rate:.3f} fpr={t.false_positive_rate:.3f}"
+        )
+    return payload, "\n".join(lines)
+
+
+def _run_leakage(ctx: RunContext, n_traces: int, trojan: str):
+    chip, scenario = ctx.chip(), ctx.scenario("sim")
+    fvr = run_fixed_vs_random_tvla(chip, scenario, n_traces=n_traces)
+    gvt = run_trojan_tvla(chip, scenario, trojan, n_traces=n_traces)
+
+    def _report(rep):
+        return {
+            "max_abs_t": rep.result.max_abs_t,
+            "leaky_samples": rep.result.leaky_samples,
+            "leaks": rep.result.leaks,
+        }
+
+    payload = {
+        "fixed_vs_random": _report(fvr),
+        "golden_vs_trojan": {"trojan": trojan, **_report(gvt)},
+    }
+    return payload, "\n".join([fvr.format(), gvt.format()])
+
+
+def _run_localization(
+    ctx: RunContext, trojans: tuple, n_cycles: int, grid: int
+):
+    result = run_localization(
+        ctx.chip(), trojans=tuple(trojans), n_cycles=n_cycles, grid=grid
+    )
+    payload = {
+        "located": dict(result.located_region),
+        "hit": {t: result.localised(t) for t in result.located_region},
+    }
+    return payload, result.format()
+
+
+def _run_baseline_power(
+    ctx: RunContext, n_golden: int, n_suspect: int, trojans: tuple
+):
+    chip = build_power_baseline_chip(seed=ctx.seed)
+    result = run_power_baseline(
+        chip,
+        simulation_scenario(),
+        n_golden=n_golden,
+        n_suspect=n_suspect,
+        trojans=tuple(trojans),
+    )
+    payload = {
+        "sensor": dict(result.sensor),
+        "power": dict(result.power),
+        "sensor_floor": result.sensor_floor,
+        "power_floor": result.power_floor,
+    }
+    return payload, result.format()
+
+
+DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
+
+register(ExperimentSpec(
+    name="table1",
+    title="Table I: Trojan gate counts and area fractions",
+    scenario="none",
+    runner=_run_table1,
+    schema={"rows": {"*": {
+        "gates": "int", "percent": "number", "area_based": "bool",
+    }}},
+    paper_ref="Table I",
+))
+
+_SNR_SCHEMA = {"scenario": "str", "snr_db": {"*": "number"}}
+
+register(ExperimentSpec(
+    name="snr",
+    title="Receiver SNR, simulation scenario",
+    scenario="sim",
+    runner=_run_snr,
+    params={"scenario": "sim", "n_cycles": 1024, "batch": 8},
+    smoke_params={"scenario": "sim", "n_cycles": 256, "batch": 4},
+    schema=_SNR_SCHEMA,
+    paper_ref="Section IV-B",
+))
+
+register(ExperimentSpec(
+    name="snr_silicon",
+    title="Receiver SNR, silicon scenario",
+    scenario="sil",
+    runner=_run_snr,
+    params={"scenario": "sil", "n_cycles": 1024, "batch": 8},
+    smoke_params={"scenario": "sil", "n_cycles": 256, "batch": 4},
+    schema=_SNR_SCHEMA,
+    paper_ref="Section V-A",
+))
+
+register(ExperimentSpec(
+    name="euclidean",
+    title="Euclidean-distance Trojan separations",
+    scenario="sim",
+    runner=_run_euclidean,
+    params={
+        "receiver": "sensor",
+        "n_golden": 1024,
+        "n_suspect": 384,
+        "trojans": DIGITAL_TROJANS,
+    },
+    smoke_params={
+        "receiver": "sensor",
+        "n_golden": 128,
+        "n_suspect": 64,
+        "trojans": ("trojan4",),
+    },
+    schema={
+        "receiver": "str",
+        "threshold": "number",
+        "separations": {"*": "number"},
+    },
+    paper_ref="Section IV-C",
+))
+
+register(ExperimentSpec(
+    name="fig4",
+    title="Fig. 4: A2 trigger-line spectrum inspection",
+    scenario="sim",
+    runner=_run_fig4,
+    params={"n_cycles": 2048},
+    smoke_params={"n_cycles": 768},
+    schema={"trigger_mhz": "number", "gain": "number", "detected": "bool"},
+    paper_ref="Figure 4",
+))
+
+register(ExperimentSpec(
+    name="fig6_histograms",
+    title="Fig. 6(a)-(h): distance histograms, probe vs sensor",
+    scenario="sil",
+    runner=_run_fig6_histograms,
+    params={"receivers": ("probe", "sensor"), "n_golden": 800,
+            "n_suspect": 800},
+    smoke_params={"receivers": ("sensor",), "n_golden": 160,
+                  "n_suspect": 160},
+    schema={"receivers": {"*": {"*": {
+        "overlap": "number",
+        "peak_shift_sigma": "number",
+        "separable": "bool",
+    }}}},
+    paper_ref="Figure 6(a)-(h)",
+))
+
+register(ExperimentSpec(
+    name="fig6_spectra",
+    title="Fig. 6(i)-(l): sensor spectra per Trojan",
+    scenario="sil",
+    runner=_run_fig6_spectra,
+    params={"n_cycles": 2048},
+    smoke_params={"n_cycles": 768},
+    schema={"panels": {"*": {
+        "low_freq_energy_ratio": "number",
+        "total_energy_ratio": "number",
+    }}},
+    paper_ref="Figure 6(i)-(l)",
+))
+
+register(ExperimentSpec(
+    name="latency",
+    title="Runtime detection latency per Trojan",
+    scenario="sim",
+    runner=_run_latency,
+    params={"n_reference": 384, "golden_prefix": 64, "horizon": 512,
+            "window": 32, "confirm": 3},
+    smoke_params={"n_reference": 128, "golden_prefix": 32, "horizon": 96,
+                  "window": 16, "confirm": 2},
+    schema={
+        "horizon": "int",
+        "window_seconds": "number",
+        "false_alarms_on_golden": "int",
+        "latency_windows": {"*": "int?"},
+    },
+    paper_ref="Section V (runtime framing)",
+))
+
+register(ExperimentSpec(
+    name="ablation",
+    title="PCA-depth sweep and threshold-rule study",
+    scenario="sim",
+    runner=_run_ablation,
+    params={"n_golden": 384, "n_suspect": 256,
+            "depths": (None, 2, 4, 8, 16, 32)},
+    smoke_params={"n_golden": 128, "n_suspect": 96,
+                  "depths": (None, 4, 16)},
+    schema={
+        "pca": [{
+            "n_components": "int?",
+            "auc": "number",
+            "separation": "number",
+        }],
+        "thresholds": [{
+            "rule": "str",
+            "threshold": "number",
+            "true_positive_rate": "number",
+            "false_positive_rate": "number",
+        }],
+    },
+    paper_ref="Section VI (design space)",
+))
+
+_TVLA_SCHEMA = {
+    "max_abs_t": "number", "leaky_samples": "int", "leaks": "bool",
+}
+
+register(ExperimentSpec(
+    name="leakage",
+    title="TVLA: fixed-vs-random and golden-vs-Trojan t-tests",
+    scenario="sim",
+    runner=_run_leakage,
+    params={"n_traces": 400, "trojan": "trojan4"},
+    smoke_params={"n_traces": 128, "trojan": "trojan4"},
+    schema={
+        "fixed_vs_random": _TVLA_SCHEMA,
+        "golden_vs_trojan": {"trojan": "str", **_TVLA_SCHEMA},
+    },
+    paper_ref="side-channel leakage cross-check",
+))
+
+register(ExperimentSpec(
+    name="localization",
+    title="Trojan localisation via |B| difference maps",
+    scenario="none",
+    runner=_run_localization,
+    params={"trojans": ("trojan1", "trojan2", "trojan4"),
+            "n_cycles": 48, "grid": 32},
+    # The grid must stay at 32: the thin trojan3/a2 floorplan strips
+    # need a grid row inside them for region scoring.
+    smoke_params={"trojans": ("trojan4",), "n_cycles": 24, "grid": 32},
+    schema={"located": {"*": "str"}, "hit": {"*": "bool"}},
+    paper_ref="Section II (location awareness)",
+))
+
+register(ExperimentSpec(
+    name="baseline_power",
+    title="EM sensor vs shunt power monitor baseline",
+    scenario="sim",
+    runner=_run_baseline_power,
+    params={"n_golden": 512, "n_suspect": 256, "trojans": DIGITAL_TROJANS},
+    smoke_params={"n_golden": 128, "n_suspect": 96,
+                  "trojans": ("trojan4",)},
+    schema={
+        "sensor": {"*": "number"},
+        "power": {"*": "number"},
+        "sensor_floor": "number",
+        "power_floor": "number",
+    },
+    paper_ref="baseline comparison",
+))

@@ -1,0 +1,186 @@
+"""The common ``RunResult`` artifact envelope.
+
+Every registered experiment (:mod:`repro.experiments.registry`) emits
+one uniformly shaped JSON artifact so downstream tooling — CI's
+``cli-smoke`` job, notebook plotting, fleet dashboards — can consume
+any table/figure without per-experiment parsing:
+
+``spec``/``scenario``/``seed``/``smoke``
+    which experiment ran, and at which size;
+``config``
+    the resolved :meth:`repro.config.ReproConfig.describe` snapshot,
+    so an artifact always records the knobs that produced it;
+``metrics``
+    the run's :meth:`repro.obs.MetricsRegistry.snapshot` — per-stage
+    timings, trace-cache hit/miss counters, simulator-backend choice;
+``payload``
+    the experiment's own numbers, validated against the spec's
+    declarative schema (:func:`validate_payload`);
+``text``
+    the driver's human-readable ``format()`` report, embedded so the
+    artifact is self-describing.
+
+Artifacts are written atomically via
+:func:`repro.io.store.atomic_write_bytes` and round-trip through
+:meth:`RunResult.to_json_bytes` / :meth:`RunResult.from_json_bytes`.
+
+Schema language
+---------------
+
+A schema node is one of:
+
+* a type name — ``"int"``, ``"number"``, ``"str"``, ``"bool"``,
+  ``"list"``, ``"dict"``, ``"any"`` — with an optional ``"?"`` suffix
+  allowing ``None``;
+* a one-element list ``[node]`` — a homogeneous list;
+* a dict ``{"*": node}`` — a mapping whose values all match *node*;
+* any other dict — an object with exactly those keys, each value
+  matching its node.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.io.store import _json_default, atomic_write_bytes
+
+#: Version of the artifact envelope itself (not of any payload).
+SCHEMA_VERSION = 1
+
+_SCALARS = {
+    "int": (int,),
+    "number": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+    "list": (list,),
+    "dict": (dict,),
+}
+
+
+def validate_payload(payload, schema, path: str = "payload") -> None:
+    """Check *payload* against *schema*; raise ExperimentError on drift.
+
+    The check runs on the JSON-decoded form (plain dicts/lists/
+    scalars), so validate *after* a round trip — numpy scalars in a
+    freshly built payload would fail the strict type checks.
+    """
+    if isinstance(schema, str):
+        name = schema
+        if name.endswith("?"):
+            if payload is None:
+                return
+            name = name[:-1]
+        if name == "any":
+            return
+        if name not in _SCALARS:
+            raise ExperimentError(f"{path}: unknown schema type {name!r}")
+        # bool is an int subclass; keep int/number strict about it.
+        if isinstance(payload, bool) and name != "bool":
+            raise ExperimentError(f"{path}: expected {name}, got bool")
+        if not isinstance(payload, _SCALARS[name]):
+            raise ExperimentError(
+                f"{path}: expected {name}, got {type(payload).__name__}"
+            )
+        return
+    if isinstance(schema, list):
+        if len(schema) != 1:
+            raise ExperimentError(
+                f"{path}: list schema must have exactly one element"
+            )
+        if not isinstance(payload, list):
+            raise ExperimentError(
+                f"{path}: expected list, got {type(payload).__name__}"
+            )
+        for i, item in enumerate(payload):
+            validate_payload(item, schema[0], f"{path}[{i}]")
+        return
+    if isinstance(schema, dict):
+        if not isinstance(payload, dict):
+            raise ExperimentError(
+                f"{path}: expected dict, got {type(payload).__name__}"
+            )
+        if "*" in schema:
+            for key, value in payload.items():
+                validate_payload(value, schema["*"], f"{path}[{key!r}]")
+            return
+        missing = sorted(set(schema) - set(payload))
+        extra = sorted(set(payload) - set(schema))
+        if missing or extra:
+            raise ExperimentError(
+                f"{path}: keys mismatch (missing {missing}, "
+                f"unexpected {extra})"
+            )
+        for key, node in schema.items():
+            validate_payload(payload[key], node, f"{path}.{key}")
+        return
+    raise ExperimentError(f"{path}: invalid schema node {schema!r}")
+
+
+@dataclass
+class RunResult:
+    """One experiment run: provenance + metrics + validated payload."""
+
+    spec: str
+    scenario: str
+    seed: int
+    smoke: bool
+    config: dict
+    metrics: dict
+    payload: dict
+    text: str
+    elapsed_seconds: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    def to_json_bytes(self) -> bytes:
+        """Canonical JSON encoding (sorted keys, trailing newline)."""
+        doc = json.dumps(
+            asdict(self),
+            indent=2,
+            sort_keys=True,
+            default=_json_default,
+        )
+        return (doc + "\n").encode("utf-8")
+
+    @classmethod
+    def from_json_bytes(cls, data: bytes) -> "RunResult":
+        doc = json.loads(data.decode("utf-8"))
+        unknown = sorted(set(doc) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise ExperimentError(
+                f"RunResult artifact has unknown fields {unknown}"
+            )
+        missing = sorted(set(cls.__dataclass_fields__) - set(doc))
+        if missing:
+            raise ExperimentError(
+                f"RunResult artifact is missing fields {missing}"
+            )
+        return cls(**doc)
+
+    def save(self, path: str | Path) -> Path:
+        """Atomically write the artifact; returns the resolved path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(target, self.to_json_bytes())
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunResult":
+        return cls.from_json_bytes(Path(path).read_bytes())
+
+    def validate(self, schema) -> "RunResult":
+        """Validate the envelope and the payload against *schema*.
+
+        Runs on the canonical JSON round trip, so numpy scalars left
+        in a payload are caught here rather than at ``save()`` time.
+        """
+        if self.schema_version != SCHEMA_VERSION:
+            raise ExperimentError(
+                f"artifact schema_version {self.schema_version} != "
+                f"{SCHEMA_VERSION}"
+            )
+        roundtripped = json.loads(self.to_json_bytes())
+        validate_payload(roundtripped["payload"], schema)
+        return self

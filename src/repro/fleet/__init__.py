@@ -13,8 +13,9 @@ output" — scaled out to a fleet of deployed chips:
   queues, an explicit backpressure policy (``block`` /
   ``drop_oldest``, drop counts always surfaced), and worker fan-out
   following the :mod:`repro.experiments.parallel` conventions;
-* :class:`~repro.fleet.metrics.MetricsRegistry` and
-  :class:`~repro.fleet.journal.EventJournal` — counters, gauges,
+* :class:`~repro.obs.metrics.MetricsRegistry` and
+  :class:`~repro.obs.journal.EventJournal` (shared :mod:`repro.obs`
+  package, re-exported here) — counters, gauges,
   p50/p95/p99 latency histograms, per-stage timing hooks and an
   atomically flushed JSONL event journal;
 * :func:`~repro.fleet.campaign.run_fleet_campaign` and the
@@ -26,8 +27,8 @@ the metrics glossary and the checkpoint format.
 """
 
 from repro.fleet.feed import FaultSpec, NO_FAULTS, TraceFeed, WindowBatch
-from repro.fleet.journal import EventJournal
-from repro.fleet.metrics import MetricsRegistry, format_snapshot
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry, format_snapshot
 from repro.fleet.scheduler import (
     BoundedQueue,
     ChipReport,

@@ -32,8 +32,8 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.parallel import campaign_spec, run_campaigns
 from repro.fleet.feed import NO_FAULTS, FaultSpec, TraceFeed
-from repro.fleet.journal import EventJournal
-from repro.fleet.metrics import MetricsRegistry
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
 from repro.fleet.scheduler import FleetResult, FleetScheduler
 from repro.fleet.session import MonitorSession
 from repro.framework.evaluator import EvaluatorConfig, RuntimeTrustEvaluator

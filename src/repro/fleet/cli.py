@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
+import warnings
 from dataclasses import asdict
 
+# SMOKE_ENV_VAR is re-exported here for backwards compatibility; its
+# resolution lives in repro.config.
+from repro.config import SMOKE_ENV_VAR, active_config
 from repro.fleet.campaign import (
     DEFAULT_FLEET,
     FleetConfig,
@@ -29,11 +32,8 @@ from repro.fleet.campaign import (
     run_fleet_campaign,
 )
 from repro.fleet.feed import FaultSpec
-from repro.fleet.metrics import format_snapshot
+from repro.obs.metrics import format_snapshot
 from repro.io.store import save_json_report
-
-#: Environment flag shared with the benchmark smoke jobs.
-SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -94,7 +94,7 @@ def _parser() -> argparse.ArgumentParser:
 
 
 def _config_from(args: argparse.Namespace) -> FleetConfig:
-    smoke = args.smoke or os.environ.get(SMOKE_ENV_VAR) == "1"
+    smoke = args.smoke or active_config().bench_smoke
     overrides: dict = {"seed": args.seed}
     for arg_name, field_name in (
         ("windows", "n_windows"),
@@ -200,6 +200,21 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
     return 0
+
+
+def deprecated_main(argv: list[str] | None = None) -> int:
+    """Entry point of the legacy ``repro-fleet`` console script.
+
+    ``repro-fleet`` became ``repro fleet`` when the unified ``repro``
+    CLI landed; the old script keeps working as an alias but emits one
+    ``DeprecationWarning`` per invocation.
+    """
+    warnings.warn(
+        "the repro-fleet script is deprecated; use `repro fleet`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CI job

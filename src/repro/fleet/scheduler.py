@@ -35,17 +35,17 @@ feeds continues **bit-identically** — same alarms, same journal tail.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.config import active_config
 from repro.errors import ExperimentError
-from repro.experiments.parallel import FORCE_POOL_ENV_VAR, resolve_workers
+from repro.experiments.parallel import resolve_workers
 from repro.fleet.feed import TraceFeed, WindowBatch
-from repro.fleet.journal import EventJournal
-from repro.fleet.metrics import MetricsRegistry
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
 from repro.fleet.session import MonitorSession
 from repro.framework.monitor import AlarmEvent
 
@@ -260,12 +260,10 @@ class FleetScheduler:
 
     # ------------------------------------------------------------------
     def _effective_workers(self) -> int:
+        # Single-CPU degrade mirrors run_campaigns: decided once by
+        # ReproConfig (config override > REPRO_FORCE_POOL).
         n = min(resolve_workers(self.workers), len(self.order))
-        if (
-            n > 1
-            and (os.cpu_count() or 1) <= 1
-            and os.environ.get(FORCE_POOL_ENV_VAR) != "1"
-        ):
+        if n > 1 and not active_config().pool_allowed:
             n = 1
         return n
 

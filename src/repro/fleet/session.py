@@ -33,8 +33,8 @@ import math
 from repro.analysis.euclidean import EuclideanDetector
 from repro.errors import AnalysisError
 from repro.fleet.feed import WindowBatch
-from repro.fleet.journal import EventJournal
-from repro.fleet.metrics import MetricsRegistry
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
 from repro.framework.evaluator import RuntimeTrustEvaluator
 from repro.framework.monitor import AlarmEvent, RuntimeMonitor
 

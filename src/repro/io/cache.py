@@ -34,6 +34,14 @@ from pathlib import Path
 
 import numpy as np
 
+# CACHE_DIR_ENV / CACHE_MB_ENV / DEFAULT_CACHE_MB are re-exported here
+# for backwards compatibility; their resolution lives in repro.config.
+from repro.config import (
+    CACHE_DIR_ENV,
+    CACHE_MB_ENV,
+    DEFAULT_CACHE_MB,
+    active_config,
+)
 from repro.errors import ExperimentError, MeasurementError
 from repro.io.store import (
     TraceBundle,
@@ -42,15 +50,6 @@ from repro.io.store import (
     load_traces,
     save_traces,
 )
-
-#: Environment variable selecting the cache directory (unset = off).
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Environment variable capping the cache size in MiB.
-CACHE_MB_ENV = "REPRO_CACHE_MB"
-
-#: Default size budget when :data:`CACHE_MB_ENV` is unset [MiB].
-DEFAULT_CACHE_MB = 2048
 
 #: Pipeline code-version salt.  Any change that alters collector output
 #: for identical inputs must bump this, invalidating every old entry.
@@ -193,21 +192,15 @@ class TraceCache:
 
     @classmethod
     def from_env(cls) -> "TraceCache | None":
-        """Cache configured by the environment, or None when disabled."""
-        root = os.environ.get(CACHE_DIR_ENV)
-        if not root:
+        """Cache selected by the active config, or None when disabled.
+
+        Reads :func:`repro.config.active_config` (``REPRO_CACHE_DIR`` /
+        ``REPRO_CACHE_MB``, or a config pinned with ``use_config``).
+        """
+        cfg = active_config()
+        if cfg.cache_dir is None:
             return None
-        mb_raw = os.environ.get(CACHE_MB_ENV)
-        if mb_raw is None:
-            mb = DEFAULT_CACHE_MB
-        else:
-            try:
-                mb = int(mb_raw)
-            except ValueError:
-                raise ExperimentError(
-                    f"{CACHE_MB_ENV}={mb_raw!r} is not an integer"
-                ) from None
-        return cls(root, max_bytes=mb * 1024 * 1024)
+        return cls(cfg.cache_dir, max_bytes=cfg.cache_bytes())
 
     # -- paths ---------------------------------------------------------
     def _base(self, key: PipelineKey | str, suffix: str = "") -> Path:

@@ -33,12 +33,13 @@ Two execution backends share one compiled netlist:
 
 from __future__ import annotations
 
-import os
-
 from dataclasses import dataclass
 
 import numpy as np
 
+# BACKEND_ENV_VAR is re-exported here for backwards compatibility; its
+# resolution lives in repro.config.
+from repro.config import BACKEND_ENV_VAR, active_config
 from repro.errors import SimulationError
 from repro.logic.cells import CellKind, packed_function
 from repro.logic.netlist import Netlist
@@ -47,10 +48,6 @@ BoolArray = np.ndarray
 
 #: Batch lanes per machine word in the packed backend.
 WORD_BITS = 64
-
-#: Environment variable forcing the simulation backend: ``packed``,
-#: ``bool`` or ``auto`` (the default: packed from ``batch >= 64`` on).
-BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
 
 #: Smallest batch at which ``auto`` resolves to the packed backend —
 #: below one full word per net the packing overhead cannot pay off.
@@ -66,12 +63,13 @@ _FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
 def resolve_backend(batch: int, backend: str | None = None) -> str:
     """Effective backend name (``"bool"`` or ``"packed"``) for *batch*.
 
-    *backend* overrides; otherwise :data:`BACKEND_ENV_VAR` is consulted,
-    and ``auto`` (the default) picks packed once *batch* reaches
-    :data:`PACKED_BATCH_THRESHOLD`.
+    *backend* overrides; otherwise the active :class:`repro.config.
+    ReproConfig` is consulted (``REPRO_SIM_BACKEND`` or a pinned
+    config), and ``auto`` (the default) picks packed once *batch*
+    reaches :data:`PACKED_BATCH_THRESHOLD`.
     """
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV_VAR, "auto")
+        backend = active_config().sim_backend
     if backend not in ("auto", "bool", "packed"):
         raise SimulationError(
             f"unknown simulation backend {backend!r}; expected "

@@ -1,0 +1,99 @@
+"""Deprecation shims: old import paths and the repro-fleet script.
+
+The fleet observability modules moved to :mod:`repro.obs`; importing
+the old ``repro.fleet.metrics`` / ``repro.fleet.journal`` paths must
+keep working but emit exactly one ``DeprecationWarning`` per process.
+The ``repro-fleet`` console script stays as an alias of ``repro
+fleet`` with the same one-warning contract.
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+
+def _import_fresh(module: str) -> list[warnings.WarningMessage]:
+    sys.modules.pop(module, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module(module)
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+@pytest.mark.parametrize(
+    "module, replacement",
+    [
+        ("repro.fleet.metrics", "repro.obs.metrics"),
+        ("repro.fleet.journal", "repro.obs.journal"),
+    ],
+)
+class TestShimModules:
+    def test_warns_exactly_once_per_process(self, module, replacement):
+        first = _import_fresh(module)
+        assert len(first) == 1
+        assert replacement in str(first[0].message)
+        # The module is cached now; a re-import must stay silent.
+        with warnings.catch_warnings(record=True) as again:
+            warnings.simplefilter("always")
+            importlib.import_module(module)
+        assert [w for w in again
+                if issubclass(w.category, DeprecationWarning)] == []
+
+    def test_shim_reexports_the_real_objects(self, module, replacement):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = importlib.import_module(module)
+        real = importlib.import_module(replacement)
+        for name in ("MetricsRegistry", "EventJournal"):
+            if hasattr(real, name):
+                assert getattr(shim, name) is getattr(real, name)
+
+
+class TestWarningFreePaths:
+    def test_fleet_package_import_does_not_warn(self):
+        # `from repro.fleet import MetricsRegistry` is the supported
+        # compat path and must not trip the shims.
+        code = (
+            "import warnings; warnings.simplefilter('error', "
+            "DeprecationWarning); "
+            "from repro.fleet import MetricsRegistry, EventJournal, "
+            "format_snapshot"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=_src_env()
+        )
+
+    def test_obs_import_does_not_warn(self):
+        code = (
+            "import warnings; warnings.simplefilter('error', "
+            "DeprecationWarning); "
+            "import repro.obs, repro.obs.metrics, repro.obs.journal"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True, env=_src_env()
+        )
+
+
+def _src_env() -> dict:
+    import os
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestDeprecatedScript:
+    def test_repro_fleet_script_warns_and_delegates(self, capsys):
+        from repro.fleet.cli import deprecated_main
+
+        with pytest.warns(DeprecationWarning, match="repro fleet"):
+            rc = deprecated_main(["--chips", "not-a-chip"])
+        assert rc == 1
+        assert "unknown chips" in capsys.readouterr().err
