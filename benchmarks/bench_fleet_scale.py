@@ -1,0 +1,219 @@
+"""Bench: fleet scale-up of the batched scoring engine.
+
+Streams synthetic fleets of increasing size (multiples of the paper's
+golden + T1-T4 + A2 line-up, fleet-smoke monitor parameters) and
+records, per fleet size:
+
+* **scoring windows/s** for both engines, measured head-to-head over
+  identical prematerialised arrival ticks — sequential
+  :meth:`MonitorSession.ingest` (the PR 4 baseline path) against one
+  :meth:`BatchedFleetMonitor.ingest_tick` per tick.  This isolates the
+  scoring path the batched engine replaces; scheduler production,
+  feed replay and report assembly are identical constants in both
+  modes and are reported separately as the end-to-end wall time.
+* the **batched-vs-sequential speedup** (the acceptance gate),
+* the **alarm-latency p99** in delivered windows, and
+* full end-to-end scheduler wall time under the batched default.
+
+The alarm streams of the two modes must be bit-identical at every
+fleet size — the speedup is only admissible because the answers are
+exactly the same, which the sweep asserts via complete end-to-end
+scheduler runs in both modes before timing anything.
+
+Run with ``--bench-json BENCH_fleet_scale.json`` to append the scaling
+record; ``REPRO_BENCH_SMOKE=1`` selects the reduced CI sweep and floor.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import record_timing
+
+from repro.analysis.euclidean import EuclideanDetector
+from repro.config import active_config
+from repro.fleet import (
+    EventJournal,
+    FleetScheduler,
+    MetricsRegistry,
+    MonitorSession,
+    TraceFeed,
+)
+from repro.framework.batched import BatchedFleetMonitor
+from repro.framework.evaluator import EvaluatorConfig, RuntimeTrustEvaluator
+
+#: Fleet-smoke monitor/feed parameters (``FleetConfig.smoke``).
+N_GOLDEN, WINDOW, CONFIRM, BATCH, N_WINDOWS = 192, 64, 2, 8, 96
+
+#: Samples per trace window.  Short windows are the deployment-relevant
+#: regime (a fleet service scores *many* chips' short sensor windows,
+#: not a few long captures) and the regime where per-window Python
+#: overhead — the thing the batched engine removes — dominates the
+#: sequential path.
+SAMPLES = 64
+
+#: Envelope shifts of one paper line-up (golden, T1..T4, A2); larger
+#: fleets repeat the pattern.
+SHIFTS = (0.0, 0.5, 0.35, 0.25, 0.02, 0.6)
+
+#: Minimum batched-over-sequential scoring windows/s ratio at the
+#: largest fleet size (the issue's acceptance target), and a
+#: conservative floor for the reduced CI smoke sweep (small fleets on
+#: noisy shared runners amortise far less Python overhead per tick).
+SPEEDUP_FLOOR = 5.0
+SMOKE_SPEEDUP_FLOOR = 1.5
+
+#: Scoring timings take the best of this many interleaved repetitions
+#: (alternating modes decorrelates shared-runner noise spikes).
+REPS = 4
+
+#: Fleet sizes large enough to amortise per-tick overhead; the
+#: acceptance gate applies to the best of these.
+AT_SCALE = 24
+
+
+def _fleet_inputs(n_chips: int):
+    """Evaluator plus *n_chips* labelled synthetic streams."""
+    rng = np.random.default_rng(0xF1EE7)
+    base = np.sin(np.linspace(0, 15, SAMPLES))
+    golden = base[None, :] + 0.05 * rng.normal(size=(N_GOLDEN, SAMPLES))
+    detector = EuclideanDetector().fit(golden)
+    ev = RuntimeTrustEvaluator.__new__(RuntimeTrustEvaluator)
+    ev.detector = detector
+    ev.golden_spectrum = None
+    ev.fs = 1e9
+    ev.config = EvaluatorConfig()
+    shape = np.cos(np.linspace(0, 9, SAMPLES))
+    streams = {
+        f"chip{i:03d}": (base + SHIFTS[i % len(SHIFTS)] * shape)[None, :]
+        + 0.05 * rng.normal(size=(N_WINDOWS, SAMPLES))
+        for i in range(n_chips)
+    }
+    return ev, streams
+
+
+def _sessions(ev, streams):
+    return [
+        MonitorSession(c, ev, window=WINDOW, confirm=CONFIRM,
+                       metrics=MetricsRegistry(), journal=EventJournal())
+        for c in streams
+    ]
+
+
+def _feeds(streams):
+    return [
+        TraceFeed(c, streams[c], batch=BATCH, seed=11) for c in streams
+    ]
+
+
+def _run_scheduler(ev, streams, scoring: str):
+    """Full end-to-end fleet run (bit-identity + latency ground truth)."""
+    scheduler = FleetScheduler(_sessions(ev, streams), scoring=scoring)
+    start = time.perf_counter()
+    result = scheduler.run(_feeds(streams))
+    return result, time.perf_counter() - start
+
+
+def _materialize_ticks(streams):
+    """The scheduler's arrival schedule as explicit per-tick batches."""
+    feeds = {f.chip_id: f for f in _feeds(streams)}
+    n_batches = max(f.n_batches for f in feeds.values())
+    return [
+        [
+            (chip_id, feeds[chip_id].batch_at(i))
+            for chip_id in streams
+            if i < feeds[chip_id].n_batches
+        ]
+        for i in range(n_batches)
+    ]
+
+
+def _time_scoring(ev, streams, ticks) -> tuple[float, float]:
+    """Best-of-REPS wall times (sequential, batched), interleaved."""
+    best_seq = best_bat = float("inf")
+    for _ in range(REPS):
+        sessions = {s.chip_id: s for s in _sessions(ev, streams)}
+        pair_ticks = [
+            [(sessions[c], b) for c, b in tick] for tick in ticks
+        ]
+        start = time.perf_counter()
+        for tick in pair_ticks:
+            for session, batch in tick:
+                session.ingest(batch)
+        best_seq = min(best_seq, time.perf_counter() - start)
+
+        sessions = {s.chip_id: s for s in _sessions(ev, streams)}
+        pair_ticks = [
+            [(sessions[c], b) for c, b in tick] for tick in ticks
+        ]
+        engine = BatchedFleetMonitor(sessions.values())
+        start = time.perf_counter()
+        for tick in pair_ticks:
+            engine.ingest_tick(tick)
+        best_bat = min(best_bat, time.perf_counter() - start)
+    return best_seq, best_bat
+
+
+def test_fleet_scale(capsys):
+    smoke = active_config().bench_smoke
+    chip_counts = (6, 12) if smoke else (6, 12, 24, 48, 96, 192)
+    floor = SMOKE_SPEEDUP_FLOOR if smoke else SPEEDUP_FLOOR
+    rows = []
+    for n_chips in chip_counts:
+        ev, streams = _fleet_inputs(n_chips)
+
+        # The speedup is only admissible with identical answers: full
+        # end-to-end runs in both modes must agree chip by chip.
+        r_seq, _ = _run_scheduler(ev, streams, "sequential")
+        r_bat, t_wall = _run_scheduler(ev, streams, "batched")
+        for chip in streams:
+            assert (
+                r_bat.reports[chip].alarms == r_seq.reports[chip].alarms
+            ), f"{chip}: scoring modes diverged at {n_chips} chips"
+
+        latencies = [
+            r.first_alarm_window
+            for r in r_bat.reports.values()
+            if r.first_alarm_window is not None
+        ]
+        assert latencies, "no chip alarmed; the sweep lost its signal"
+        p99 = float(np.percentile(latencies, 99.0))
+
+        # Head-to-head scoring throughput over the identical schedule.
+        ticks = _materialize_ticks(streams)
+        n_windows = sum(len(b) for tick in ticks for _, b in tick)
+        t_seq, t_bat = _time_scoring(ev, streams, ticks)
+        wps_seq = n_windows / t_seq
+        wps_bat = n_windows / t_bat
+        speedup = wps_bat / wps_seq
+        rows.append((n_chips, wps_seq, wps_bat, speedup, p99))
+        record_timing(
+            f"fleet_scale[{n_chips}chips]",
+            t_bat,
+            chips=n_chips,
+            windows=n_windows,
+            windows_per_s_sequential=wps_seq,
+            windows_per_s_batched=wps_bat,
+            speedup=speedup,
+            alarm_latency_p99_windows=p99,
+            end_to_end_s=t_wall,
+        )
+
+    with capsys.disabled():
+        print("\n=== fleet scale: batched vs sequential scoring ===")
+        print(f"  {'chips':>5} {'seq w/s':>10} {'batched w/s':>12} "
+              f"{'speedup':>8} {'alarm p99':>10}")
+        for n_chips, wps_seq, wps_bat, speedup, p99 in rows:
+            print(f"  {n_chips:>5} {wps_seq:>10.0f} {wps_bat:>12.0f} "
+                  f"{speedup:>7.1f}x {p99:>9.0f}w")
+
+    # Scaling acceptance: the fleet must clear the floor at scale
+    # (small fleets amortise too little per-tick overhead to count,
+    # and a single shared-runner noise spike must not fail the gate).
+    at_scale = [r for r in rows if r[0] >= AT_SCALE] or rows[-1:]
+    best = max(r[3] for r in at_scale)
+    assert best >= floor, (
+        f"batched speedup peaked at {best:.1f}x, below the {floor:.1f}x "
+        f"floor (fleet sizes >= {at_scale[0][0]} chips)"
+    )

@@ -45,7 +45,10 @@ def normalize_traces(traces: np.ndarray) -> np.ndarray:
     norms = np.linalg.norm(x, axis=1, keepdims=True)
     if np.any(norms == 0):
         raise AnalysisError("cannot normalise a constant trace")
-    return x / norms
+    # ``x`` is a fresh array here, so dividing in place is safe and
+    # saves one full-matrix allocation on the fleet hot path.
+    x /= norms
+    return x
 
 
 def euclidean_distances(data: np.ndarray, reference: np.ndarray) -> np.ndarray:
@@ -270,6 +273,18 @@ class EuclideanDetector:
         view = self._fingerprint.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def uses_pca(self) -> bool:
+        """Whether :meth:`features` applies a fitted PCA projection.
+
+        Row-wise normalisation alone is independent across traces, so
+        features of many chips' windows can be extracted in one
+        batched call with bit-identical results; the PCA matmul is not
+        row-blocking-invariant, so batched consumers check this flag
+        and fall back to per-chip extraction when it is set.
+        """
+        return self._pca is not None
 
     def features(self, traces: np.ndarray) -> np.ndarray:
         """Normalise (and PCA-project, if fitted so) traces."""

@@ -13,7 +13,12 @@ from repro.chip.config import ChipConfig
 from repro.chip.scenario import Scenario, silicon_scenario, simulation_scenario
 from repro.chip.oscilloscope import Oscilloscope
 from repro.chip.chip import Chip, Receiver, build_protected_chip
-from repro.chip.acquire import AcquisitionEngine, EncryptionWorkload, IdleWorkload
+from repro.chip.acquire import (
+    AcquisitionEngine,
+    EncryptionWorkload,
+    GroupMember,
+    IdleWorkload,
+)
 
 __all__ = [
     "ChipConfig",
@@ -26,5 +31,6 @@ __all__ = [
     "build_protected_chip",
     "AcquisitionEngine",
     "EncryptionWorkload",
+    "GroupMember",
     "IdleWorkload",
 ]

@@ -28,6 +28,7 @@ from repro.errors import ExperimentError, MeasurementError
 from repro.logic.activity import ActivityAccumulator
 from repro.logic.simulator import (
     PackedState,
+    lane_slices,
     resolve_backend,
     unpack_bits,
 )
@@ -134,6 +135,59 @@ class EncryptionWorkload:
         if phase == 1:
             return self.aes.idle_inputs(batch)
         return None
+
+
+@dataclass(frozen=True)
+class GroupMember:
+    """One chip's campaign inside a lane-packed group acquisition.
+
+    Fleet variants (golden vs T1–T4/A2) share one netlist and differ
+    only in which Trojan enable pins are asserted and which RNG streams
+    drive stimulus and noise — exactly the knobs this record carries.
+    """
+
+    #: Key of this member's entry in the :meth:`AcquisitionEngine.
+    #: acquire_group` result dictionary.
+    name: str
+    #: Stimulus generator with ``begin(batch, rng)`` / ``inputs(cycle,
+    #: batch)``; each member needs its own instance (workloads hold
+    #: per-campaign state).
+    workload: object
+    #: This member's batch lanes within the shared words.
+    batch: int
+    trojan_enables: tuple[str, ...] = ()
+    rng_role: str = "acquire"
+    workload_role: str | None = None
+
+
+class _GroupStimulus:
+    """Column-concatenates the member workloads' per-cycle stimulus."""
+
+    def __init__(self, members: tuple[GroupMember, ...]) -> None:
+        self._members = members
+
+    def inputs(self, cycle: int, batch: int):
+        parts = [
+            (m, m.workload.inputs(cycle, m.batch)) for m in self._members
+        ]
+        if all(p is None for _, p in parts):
+            return None
+        keys = next(set(p) for _, p in parts if p is not None)
+        if any(p is None or set(p) != keys for _, p in parts):
+            raise MeasurementError(
+                "lane-group members must share stimulus cadence and "
+                f"input pins at every cycle (cycle {cycle})"
+            )
+        merged: dict[str, np.ndarray] = {}
+        for key in keys:
+            cols = []
+            for m, p in parts:
+                arr = np.asarray(p[key], dtype=bool)
+                if arr.ndim == 0:
+                    arr = np.full(m.batch, bool(arr))
+                cols.append(arr)
+            merged[key] = np.concatenate(cols)
+        return merged
 
 
 @dataclass
@@ -350,6 +404,180 @@ class AcquisitionEngine:
             samples_per_cycle=cfg.samples_per_cycle,
             recorded=public_recorded,
         )
+
+    # ------------------------------------------------------------------
+    def acquire_group(
+        self,
+        members,
+        n_cycles: int,
+        record_nets: dict[str, str] | None = None,
+        receivers: tuple[str, ...] | None = None,
+        include_noise: bool = True,
+        backend: str | None = None,
+    ) -> dict[str, AcquisitionResult]:
+        """Acquire several same-netlist campaigns in one packed pass.
+
+        Fleet chips instantiated from one netlist (golden vs the
+        Trojan variants, which differ only in which enable pin is
+        asserted) run the **same** compiled stepping kernel; packing
+        each member's batch columns into the shared uint64 lane words
+        amortises the per-cycle gather/scatter and the blocked activity
+        fold across the whole group — one stepping pass and one fold
+        GEMM per block instead of one per chip.
+
+        Every per-member random stream (stimulus, noise, scope) is
+        derived exactly as a solo :meth:`acquire` call with the same
+        roles would derive it, and synthesis runs per member on its own
+        lane slice, so each member's result matches its solo
+        acquisition; only the logic/fold compute layout changes.
+
+        Parameters
+        ----------
+        members:
+            Sequence of :class:`GroupMember`; names must be unique and
+            workload instances distinct (workloads hold per-campaign
+            state).
+        n_cycles, record_nets, receivers, include_noise:
+            As in :meth:`acquire`, shared by the whole group.
+        backend:
+            Backend override; default defers to :func:`repro.logic.
+            simulator.resolve_backend` for the *combined* batch, so a
+            group of small batches still reaches the packed kernel.
+
+        Returns
+        -------
+        dict
+            ``{member.name: AcquisitionResult}`` in member order.
+        """
+        chip = self.chip
+        cfg = chip.config
+        sim = chip.sim
+        members = tuple(members)
+        if not members:
+            raise MeasurementError("acquire_group needs at least one member")
+        if len({m.name for m in members}) != len(members):
+            raise MeasurementError("group member names must be unique")
+        if len({id(m.workload) for m in members}) != len(members):
+            raise MeasurementError(
+                "group members must not share workload instances "
+                "(workloads hold per-campaign state)"
+            )
+        if n_cycles <= 0:
+            raise MeasurementError(f"n_cycles must be positive, got {n_cycles}")
+        names = receivers if receivers is not None else tuple(chip.receivers)
+        for name in names:
+            if name not in chip.receivers:
+                raise MeasurementError(f"unknown receiver {name!r}")
+        for m in members:
+            for tr_name in m.trojan_enables:
+                if tr_name not in chip.trojans:
+                    raise MeasurementError(
+                        f"chip has no trojan {tr_name!r}; present: "
+                        f"{sorted(chip.trojans)}"
+                    )
+        slices = lane_slices([m.batch for m in members])
+        total = slices[-1].stop
+
+        # Identical RNG derivations to solo acquire() calls with the
+        # same roles — lane packing changes the compute layout only.
+        rngs = []
+        for m in members:
+            rngs.append(
+                derive(
+                    chip.seed ^ self.scenario.seed,
+                    f"{m.rng_role}/{self.scenario.name}",
+                )
+            )
+            wl_role = (
+                m.workload_role if m.workload_role is not None else m.rng_role
+            )
+            m.workload.begin(
+                m.batch, derive(chip.seed, f"{wl_role}/workload")
+            )
+
+        # Per-lane Trojan enables: each pin is asserted exactly on the
+        # lanes of the members that enable it, deasserted elsewhere.
+        enable_inputs = {}
+        for tr_name, tr in chip.trojans.items():
+            lanes = np.zeros(total, dtype=bool)
+            for m, sl in zip(members, slices):
+                if tr_name in m.trojan_enables:
+                    lanes[sl] = True
+            enable_inputs[tr.enable_pin] = lanes
+
+        stimulus = _GroupStimulus(members)
+        first_inputs = dict(enable_inputs)
+        wl0 = stimulus.inputs(0, total)
+        if wl0:
+            first_inputs.update(wl0)
+        resolved = resolve_backend(total, backend)
+        state = sim.reset(batch=total, inputs=first_inputs, backend=resolved)
+
+        levels = sim.instance_levels
+        accumulators = {
+            name: ActivityAccumulator(
+                self._w_data[name], levels, dtype=np.float32
+            )
+            for name in names
+        }
+        acc_list = list(accumulators.values())
+        watch: dict[str, str] = dict(record_nets or {})
+        for i, tap in enumerate(chip.taps):
+            watch[f"__tap{i}_net"] = tap.net
+            if tap.gate_by is not None:
+                watch[f"__tap{i}_gate"] = tap.gate_by
+        watch_labels = list(watch)
+        watch_idx = np.array(
+            [sim.net_index[net] for net in watch.values()], dtype=np.int64
+        )
+
+        metrics = active_metrics()
+        metrics.counter(f"sim.backend.{resolved}").inc()
+        metrics.counter("acquire.cycles").inc(n_cycles * total)
+        metrics.counter("acquire.group.chips").inc(len(members))
+        metrics.counter("acquire.group.lanes").inc(total)
+
+        with metrics.time("stage.sim_cycles.seconds"):
+            clock_en, rec_full = self._run_cycles_blocked(
+                state, stimulus, n_cycles, total, acc_list, watch_idx
+            )
+
+        n_samples = (n_cycles + 1) * cfg.samples_per_cycle
+        folded = {name: accumulators[name].result() for name in names}
+
+        results: dict[str, AcquisitionResult] = {}
+        with metrics.time("stage.synthesize.seconds"):
+            for m, sl, rng in zip(members, slices, rngs):
+                rec_arrays = {
+                    label: np.ascontiguousarray(rec_full[:, j, sl])
+                    for j, label in enumerate(watch_labels)
+                }
+                member_clock = np.ascontiguousarray(clock_en[:, :, sl])
+                traces: dict[str, np.ndarray] = {}
+                for name in names:
+                    traces[name] = self._synthesize_receiver(
+                        name,
+                        np.ascontiguousarray(folded[name][:, :, sl]),
+                        member_clock,
+                        rec_arrays,
+                        n_cycles,
+                        n_samples,
+                        m.batch,
+                        include_noise,
+                        rng,
+                    )
+                results[m.name] = AcquisitionResult(
+                    traces=traces,
+                    fs=cfg.fs,
+                    n_cycles=n_cycles,
+                    samples_per_cycle=cfg.samples_per_cycle,
+                    recorded={
+                        label: arr
+                        for label, arr in rec_arrays.items()
+                        if not label.startswith("__tap")
+                    },
+                )
+        return results
 
     # ------------------------------------------------------------------
     def _run_cycles_blocked(

@@ -66,6 +66,9 @@ CACHE_MB_ENV = "REPRO_CACHE_MB"
 #: Set to ``1`` to select reduced CI smoke sizes everywhere.
 SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
 
+#: Fleet scoring engine: ``batched`` (default) or ``sequential``.
+FLEET_SCORING_ENV_VAR = "REPRO_FLEET_SCORING"
+
 # -- built-in defaults -------------------------------------------------
 
 #: Default cap on an EM kernel's transient broadcast buffers [bytes].
@@ -76,6 +79,9 @@ DEFAULT_CACHE_MB = 2048
 
 #: Valid simulation backend names.
 SIM_BACKENDS = ("auto", "bool", "packed")
+
+#: Valid fleet scoring modes.
+FLEET_SCORING_MODES = ("batched", "sequential")
 
 
 def _parse_workers(raw: str) -> int:
@@ -130,6 +136,11 @@ class ReproConfig:
     #: Reduced CI smoke sizes (benchmarks, fleet campaign, ``repro
     #: run --all``).
     bench_smoke: bool = False
+    #: Fleet scoring engine: ``batched`` scores every chip's windows
+    #: through the dense :class:`~repro.framework.batched.
+    #: BatchedFleetMonitor`; ``sequential`` keeps the per-session
+    #: Python loop.  Both produce bit-identical alarms.
+    fleet_scoring: str = "batched"
     #: Host CPU count snapshot; ``0`` means "detect now".  The
     #: single-CPU pool auto-degrade decision is taken from this field,
     #: once, instead of re-reading ``os.cpu_count()`` at every
@@ -179,6 +190,11 @@ class ReproConfig:
         if self.cache_mb <= 0:
             raise ExperimentError(
                 f"cache size budget must be positive, got {self.cache_mb}"
+            )
+        if self.fleet_scoring not in FLEET_SCORING_MODES:
+            raise ExperimentError(
+                f"unknown fleet scoring mode {self.fleet_scoring!r}; "
+                f"expected one of {FLEET_SCORING_MODES}"
             )
         if not isinstance(self.host_cpus, int) or isinstance(
             self.host_cpus, bool
@@ -232,6 +248,7 @@ class ReproConfig:
         from_env("cache_dir", CACHE_DIR_ENV, lambda raw: raw or None)
         from_env("cache_mb", CACHE_MB_ENV, _parse_cache_mb)
         from_env("bench_smoke", SMOKE_ENV_VAR, lambda raw: raw == "1")
+        from_env("fleet_scoring", FLEET_SCORING_ENV_VAR, str)
         return cls(**values)
 
     # -- derived views -------------------------------------------------

@@ -74,6 +74,9 @@ class FleetConfig:
     workers: int | None = 1
     campaign_workers: int | None = None
     consume_every: int = 1
+    #: Scoring engine: ``"batched"``/``"sequential"``, or ``None`` to
+    #: defer to the active config (``REPRO_FLEET_SCORING``).
+    scoring: str | None = None
     #: Link fault injection applied to every feed.
     faults: FaultSpec = NO_FAULTS
     #: Spectral sweep: record length, inspected band, boost criterion.
@@ -298,6 +301,7 @@ def run_fleet_campaign(
         policy=config.policy,
         workers=config.workers,
         consume_every=config.consume_every,
+        scoring=config.scoring,
         journal=journal,
         metrics=metrics,
     )

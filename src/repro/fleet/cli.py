@@ -73,6 +73,10 @@ def _parser() -> argparse.ArgumentParser:
                    help="trace-generation fan-out (processes)")
     p.add_argument("--consume-every", type=int, default=None,
                    help="serial consumer pacing (ticks per drain)")
+    p.add_argument("--scoring", choices=("batched", "sequential"),
+                   default=None,
+                   help="scoring engine (default: REPRO_FLEET_SCORING, "
+                        "i.e. batched)")
     p.add_argument("--spectral-cycles", type=int, default=None,
                    help="spectral sweep record length [cycles]")
     p.add_argument("--drop", type=float, default=0.0,
@@ -107,6 +111,7 @@ def _config_from(args: argparse.Namespace) -> FleetConfig:
         ("workers", "workers"),
         ("campaign_workers", "campaign_workers"),
         ("consume_every", "consume_every"),
+        ("scoring", "scoring"),
         ("spectral_cycles", "spectral_cycles"),
     ):
         value = getattr(args, arg_name)
@@ -131,6 +136,8 @@ def _summary(result: FleetCampaignResult) -> dict:
                if k != "faults"},
             "faults": asdict(result.config.faults),
         },
+        "scoring_mode": result.config.scoring
+        or active_config().fleet_scoring,
         "throughput_windows_per_s": fleet.throughput,
         "elapsed_seconds": fleet.elapsed_seconds,
         "windows_ingested": fleet.windows_ingested,

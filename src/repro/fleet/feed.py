@@ -64,6 +64,9 @@ class WindowBatch:
     seqs: tuple[int, ...]
     #: ``(len(seqs), samples)`` trace rows, delivery order.
     traces: np.ndarray
+    #: ``seqs`` as an int array, for accounting hot paths (optional —
+    #: consumers fall back to converting ``seqs``).
+    seq_array: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.seqs)
@@ -151,6 +154,9 @@ class TraceFeed:
         )
         #: Source window indices in delivery order.
         self.delivered_seqs: tuple[int, ...] = tuple(delivered)
+        # Same indices as an array: fancy-indexing with a list re-walks
+        # it element by element on every batch_at call.
+        self._delivered_arr = np.asarray(delivered, dtype=np.intp)
         #: Source window indices lost in transit (surfaced, never silent).
         self.dropped_seqs: tuple[int, ...] = tuple(dropped)
         self.duplicated = duplicated
@@ -176,13 +182,13 @@ class TraceFeed:
             raise ExperimentError(
                 f"batch index {index} out of range [0, {self.n_batches})"
             )
-        seqs = self.delivered_seqs[
-            index * self.batch: (index + 1) * self.batch
-        ]
+        lo, hi = index * self.batch, (index + 1) * self.batch
+        sel = self._delivered_arr[lo:hi]
         return WindowBatch(
             chip_id=self.chip_id,
-            seqs=seqs,
-            traces=self._traces[list(seqs)],
+            seqs=self.delivered_seqs[lo:hi],
+            traces=self._traces[sel],
+            seq_array=sel,
         )
 
     def __iter__(self):
@@ -197,4 +203,4 @@ class TraceFeed:
         check evaluates it through the plain
         :class:`~repro.analysis.euclidean.EuclideanDetector`.
         """
-        return self._traces[list(self.delivered_seqs)]
+        return self._traces[self._delivered_arr]

@@ -31,6 +31,14 @@ Checkpoint/resume (serial mode): :meth:`FleetScheduler.run` with
 the sessions plus the production/queue bookkeeping, and
 :meth:`from_state` + a second :meth:`run` over identically rebuilt
 feeds continues **bit-identically** — same alarms, same journal tail.
+
+Scoring runs in one of two modes (``REPRO_FLEET_SCORING`` or the
+``scoring`` argument): ``batched`` (default) drains each tick's
+arrivals through one :class:`~repro.framework.batched.
+BatchedFleetMonitor` — one feature-extraction call and one row-norm
+for the whole fleet — while ``sequential`` keeps the per-session
+Python loop.  The two modes are bit-identical (alarms, journal,
+checkpoints); batched is simply faster the more chips share a tick.
 """
 
 from __future__ import annotations
@@ -40,13 +48,14 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.config import active_config
+from repro.config import FLEET_SCORING_MODES, active_config
 from repro.errors import ExperimentError
 from repro.experiments.parallel import resolve_workers
 from repro.fleet.feed import TraceFeed, WindowBatch
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.fleet.session import MonitorSession
+from repro.framework.batched import BatchedFleetMonitor
 from repro.framework.monitor import AlarmEvent
 
 #: Supported backpressure policies.
@@ -136,6 +145,10 @@ class ChipReport:
     #: Sequence anomalies the session observed.
     gaps: int
     out_of_order: int
+    #: p99 latency of this chip's scoring stage (features + separation)
+    #: in seconds.  Under batched scoring every chip in a tick observes
+    #: the shared tick duration.
+    scoring_p99_s: float = 0.0
     alarms: list[AlarmEvent] = field(default_factory=list)
 
     @property
@@ -189,7 +202,8 @@ class FleetResult:
                 f"link drops {r.feed_dropped}, dup {r.feed_duplicated}, "
                 f"reordered {r.feed_reordered}, "
                 f"queue drops {r.queue_dropped_windows}, "
-                f"gaps {r.gaps}, ooo {r.out_of_order}"
+                f"gaps {r.gaps}, ooo {r.out_of_order}, "
+                f"score p99 {r.scoring_p99_s * 1e6:.0f}us"
             )
         return "\n".join(lines)
 
@@ -206,6 +220,7 @@ class FleetScheduler:
         consume_every: int = 1,
         journal: EventJournal | None = None,
         metrics: MetricsRegistry | None = None,
+        scoring: str | None = None,
     ) -> None:
         """
         Parameters
@@ -229,6 +244,11 @@ class FleetScheduler:
             policy deterministically.  Ignored by the threaded path.
         journal, metrics:
             Shared sinks; default to the first session's.
+        scoring:
+            ``"batched"`` or ``"sequential"``; ``None`` (default)
+            resolves ``REPRO_FLEET_SCORING`` through the active
+            :class:`~repro.config.ReproConfig` at :meth:`run` time.
+            Both modes raise bit-identical alarms.
         """
         if not sessions:
             raise ExperimentError("fleet needs at least one session")
@@ -244,6 +264,12 @@ class FleetScheduler:
             raise ExperimentError(
                 f"consume_every must be >= 1, got {consume_every}"
             )
+        if scoring is not None and scoring not in FLEET_SCORING_MODES:
+            raise ExperimentError(
+                f"unknown fleet scoring mode {scoring!r}; "
+                f"expected one of {FLEET_SCORING_MODES}"
+            )
+        self.scoring = scoring
         self.sessions = {s.chip_id: s for s in sessions}
         self.order = ids
         self.queue_depth = queue_depth
@@ -257,8 +283,15 @@ class FleetScheduler:
         self._produced: dict[str, int] = {c: 0 for c in ids}
         self._pending: dict[str, list[int]] = {c: [] for c in ids}
         self._queue_dropped: dict[str, list[int]] = {c: [] for c in ids}
+        #: Serial-mode batched scoring engine (built per run).
+        self._engine: BatchedFleetMonitor | None = None
 
     # ------------------------------------------------------------------
+    def scoring_mode(self) -> str:
+        """The effective scoring mode (argument > env > default)."""
+        if self.scoring is not None:
+            return self.scoring
+        return active_config().fleet_scoring
     def _effective_workers(self) -> int:
         # Single-CPU degrade mirrors run_campaigns: decided once by
         # ReproConfig (config override > REPRO_FORCE_POOL).
@@ -284,6 +317,7 @@ class FleetScheduler:
                 f"{sorted(self.order)}"
             )
         n_workers = self._effective_workers()
+        mode = self.scoring_mode()
         start = time.perf_counter()
         if n_workers > 1:
             if max_ticks is not None:
@@ -291,10 +325,20 @@ class FleetScheduler:
                     "checkpointing (max_ticks) requires workers=1; the "
                     "threaded ingestors interleave nondeterministically"
                 )
-            self._run_threaded(feed_map, n_workers)
+            self._run_threaded(feed_map, n_workers, mode)
             complete = True
         else:
-            complete = self._run_serial(feed_map, max_ticks)
+            if mode == "batched":
+                self._engine = BatchedFleetMonitor(
+                    [self.sessions[c] for c in self.order],
+                    metrics=self.metrics,
+                )
+            try:
+                complete = self._run_serial(feed_map, max_ticks)
+            finally:
+                if self._engine is not None:
+                    self._engine.sync_to_sessions()
+                    self._engine = None
         elapsed = time.perf_counter() - start
         self.journal.flush()
         return self._result(feed_map, complete, elapsed)
@@ -310,11 +354,24 @@ class FleetScheduler:
             "drop", chip=chip_id, batch=batch_index, seqs=list(seqs)
         )
 
+    def _ingest_one(self, chip_id: str, batch: WindowBatch) -> None:
+        """Drain one batch through the active scoring engine."""
+        if self._engine is not None:
+            self._engine.ingest_tick([(self.sessions[chip_id], batch)])
+        else:
+            self.sessions[chip_id].ingest(batch)
+
     def _run_serial(
         self, feed_map: dict[str, TraceFeed], max_ticks: int | None
     ) -> bool:
         """Deterministic single-threaded produce/consume loop."""
         produced, pending = self._produced, self._pending
+        # Per-chip gauge lookups (f-string + registry lock) are hot at
+        # fleet scale; the gauge objects themselves are cheap to hold.
+        hw_gauges = {
+            c: self.metrics.gauge(f"chip.{c}.queue_high_water")
+            for c in self.order
+        }
         while True:
             live = any(
                 produced[c] < feed_map[c].n_batches or pending[c]
@@ -349,22 +406,29 @@ class FleetScheduler:
                         # through the session right now.
                         self.metrics.counter("fleet.queue.blocked").inc()
                         oldest = pending[chip_id].pop(0)
-                        self.sessions[chip_id].ingest(feed.batch_at(oldest))
-                self.metrics.gauge(f"chip.{chip_id}.queue_high_water").max(
-                    len(pending[chip_id]) + 1
-                )
+                        self._ingest_one(chip_id, feed.batch_at(oldest))
+                hw_gauges[chip_id].max(len(pending[chip_id]) + 1)
                 pending[chip_id].append(i)
                 produced[chip_id] = i + 1
             if self._tick % self.consume_every == 0:
-                for chip_id in self.order:
-                    if pending[chip_id]:
-                        i = pending[chip_id].pop(0)
-                        self.sessions[chip_id].ingest(
-                            feed_map[chip_id].batch_at(i)
-                        )
+                drained = [
+                    (chip_id, feed_map[chip_id].batch_at(
+                        pending[chip_id].pop(0)
+                    ))
+                    for chip_id in self.order
+                    if pending[chip_id]
+                ]
+                if self._engine is not None:
+                    # One batched tick across every chip that has work.
+                    self._engine.ingest_tick(
+                        [(self.sessions[c], b) for c, b in drained]
+                    )
+                else:
+                    for chip_id, batch in drained:
+                        self.sessions[chip_id].ingest(batch)
 
     def _run_threaded(
-        self, feed_map: dict[str, TraceFeed], n_workers: int
+        self, feed_map: dict[str, TraceFeed], n_workers: int, mode: str
     ) -> None:
         """Producer (main thread) + per-worker chip partitions."""
         queues = {
@@ -374,10 +438,21 @@ class FleetScheduler:
         errors: list[BaseException] = []
 
         def consume(chip_ids: list[str]) -> None:
+            # Each worker owns a disjoint chip partition, so a
+            # per-worker batched engine shares no session state with
+            # its siblings; one engine tick scores every chip in the
+            # partition that had an arrival this sweep.
+            engine = None
+            if mode == "batched":
+                engine = BatchedFleetMonitor(
+                    [self.sessions[c] for c in chip_ids],
+                    metrics=self.metrics,
+                )
             active = set(chip_ids)
             try:
                 while active:
                     progress = False
+                    arrivals: list[tuple[MonitorSession, WindowBatch]] = []
                     for chip_id in list(active):
                         q = queues[chip_id]
                         item = q.get_nowait()
@@ -385,10 +460,17 @@ class FleetScheduler:
                             if q.finished:
                                 active.discard(chip_id)
                             continue
-                        self.sessions[chip_id].ingest(item)
+                        if engine is not None:
+                            arrivals.append((self.sessions[chip_id], item))
+                        else:
+                            self.sessions[chip_id].ingest(item)
                         progress = True
+                    if arrivals:
+                        engine.ingest_tick(arrivals)
                     if not progress and active:
                         time.sleep(1e-4)
+                if engine is not None:
+                    engine.sync_to_sessions()
             except BaseException as exc:  # surfaced after join
                 errors.append(exc)
 
@@ -467,6 +549,9 @@ class FleetScheduler:
                 queue_dropped_windows=dropped_windows,
                 gaps=session.gaps,
                 out_of_order=session.out_of_order,
+                scoring_p99_s=self.metrics.histogram(
+                    f"chip.{chip_id}.scoring.seconds"
+                ).percentile(99.0),
                 alarms=list(session.monitor.alarms),
             )
         return FleetResult(
@@ -488,7 +573,12 @@ class FleetScheduler:
         production/queue bookkeeping.  Queued-but-not-yet-ingested
         batches are stored as feed batch *indices* — feeds are
         deterministic replays, so the queue contents rebuild exactly.
+        The captured state is scoring-mode agnostic: a batched run
+        syncs its dense engine state back into the sessions, so either
+        mode resumes either mode's checkpoint bit-identically.
         """
+        if self._engine is not None:
+            self._engine.sync_to_sessions()
         return {
             "tick": self._tick,
             "queue_depth": self.queue_depth,

@@ -29,10 +29,14 @@ separation the one-shot evaluation measures, so the two verdicts agree
 from __future__ import annotations
 
 import math
+import time
+
+import numpy as np
 
 from repro.analysis.euclidean import EuclideanDetector
 from repro.errors import AnalysisError
 from repro.fleet.feed import WindowBatch
+from repro.obs import active_metrics
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.framework.evaluator import RuntimeTrustEvaluator
@@ -107,6 +111,9 @@ class MonitorSession:
         self.windows_ingested = 0
         self.gaps = 0
         self.out_of_order = 0
+        # Lazily-cached accounting counters (the registry lookup is
+        # measurable on the fleet hot path, the instruments are not).
+        self._acct_counters: tuple | None = None
 
     # ------------------------------------------------------------------
     def ingest(self, batch: WindowBatch) -> list[AlarmEvent]:
@@ -124,11 +131,42 @@ class MonitorSession:
             )
         if len(batch) == 0:
             return []
+        start = time.perf_counter()
         with self.metrics.time("stage.features.seconds"):
             feats = self.evaluator.detector.features(batch.traces)
         with self.metrics.time("stage.separation.seconds"):
             events = self.monitor.observe_features(feats)
+        self.metrics.histogram(
+            f"chip.{self.chip_id}.scoring.seconds"
+        ).observe(time.perf_counter() - start)
+        self.metrics.counter("fleet.scoring.sequential").inc(len(batch))
+        shared = active_metrics()
+        if shared is not self.metrics:
+            shared.counter("fleet.scoring.sequential").inc(len(batch))
+        self._finish_batch(batch, events)
+        return events
+
+    def _finish_batch(
+        self, batch: WindowBatch, events: list[AlarmEvent]
+    ) -> None:
+        """Post-scoring bookkeeping shared by both scoring engines.
+
+        Stream accounting first, then alarm counters and journal
+        records — the exact order :meth:`ingest` always used.  The
+        batched engine (:class:`~repro.framework.batched.
+        BatchedFleetMonitor`) computes the accounting verdicts for a
+        whole tick in one vectorised pass and lands them through the
+        same :meth:`_apply_accounting` / :meth:`_journal_alarms` pair,
+        so both scoring modes produce the same counters and the same
+        journal stream.
+        """
         self._account(batch)
+        self._journal_alarms(batch, events)
+
+    def _journal_alarms(
+        self, batch: WindowBatch, events: list[AlarmEvent]
+    ) -> None:
+        """Alarm counters plus journal records for one scored batch."""
         if events:
             self.metrics.counter("fleet.alarms").inc(len(events))
             self.metrics.counter(f"chip.{self.chip_id}.alarms").inc(
@@ -150,27 +188,60 @@ class MonitorSession:
                     separation=event.separation,
                     threshold=event.threshold,
                 )
-        return events
 
     def _account(self, batch: WindowBatch) -> None:
-        self.windows_ingested += len(batch)
-        self.metrics.counter("fleet.windows.ingested").inc(len(batch))
-        self.metrics.counter(f"chip.{self.chip_id}.windows").inc(len(batch))
-        for seq in batch.seqs:
-            if self._last_seq is not None:
-                if seq > self._last_seq + 1:
-                    self.gaps += 1
-                    self.metrics.counter(
-                        f"chip.{self.chip_id}.gaps"
-                    ).inc()
-                elif seq <= self._last_seq:
-                    self.out_of_order += 1
-                    self.metrics.counter(
-                        f"chip.{self.chip_id}.out_of_order"
-                    ).inc()
-            self._last_seq = max(
-                seq, self._last_seq if self._last_seq is not None else seq
+        # Vectorised sequence accounting: each seq is compared against
+        # the running maximum of everything before it (gap if it skips
+        # past, out-of-order if it regresses) — same verdicts as the
+        # old per-seq Python loop.
+        seqs = batch.seq_array
+        if seqs is None:
+            seqs = np.asarray(batch.seqs, dtype=np.int64)
+        if self._last_seq is not None:
+            base = self._last_seq
+            first = 0
+        else:
+            base = int(seqs[0])
+            first = 1
+        prev_max = np.maximum.accumulate(
+            np.concatenate(([base], seqs[:-1]))
+        )
+        n_gaps = int(np.count_nonzero(seqs[first:] > prev_max[first:] + 1))
+        n_ooo = int(np.count_nonzero(seqs[first:] <= prev_max[first:]))
+        self._apply_accounting(
+            len(batch), n_gaps, n_ooo, int(max(prev_max[-1], seqs[-1]))
+        )
+
+    def _apply_accounting(
+        self, n: int, n_gaps: int, n_ooo: int, last_seq: int
+    ) -> None:
+        """Land one batch's stream-accounting verdicts.
+
+        The sequential path funnels :meth:`_account`'s per-batch
+        verdicts through here; the batched engine computes a whole
+        tick's verdicts in one vectorised pass
+        (:meth:`~repro.framework.batched.BatchedFleetMonitor.
+        _account_tick`) and lands them per session — identical counter
+        increments and attributes either way.
+        """
+        self.windows_ingested += n
+        counters = self._acct_counters
+        if counters is None:
+            counters = self._acct_counters = (
+                self.metrics.counter("fleet.windows.ingested"),
+                self.metrics.counter(f"chip.{self.chip_id}.windows"),
             )
+        counters[0].inc(n)
+        counters[1].inc(n)
+        if n_gaps:
+            self.gaps += n_gaps
+            self.metrics.counter(f"chip.{self.chip_id}.gaps").inc(n_gaps)
+        if n_ooo:
+            self.out_of_order += n_ooo
+            self.metrics.counter(
+                f"chip.{self.chip_id}.out_of_order"
+            ).inc(n_ooo)
+        self._last_seq = last_seq
 
     # ------------------------------------------------------------------
     @property

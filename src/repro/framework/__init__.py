@@ -11,12 +11,16 @@ frequency-domain spot inspector sees the circuit leave its envelope.
   :class:`~repro.framework.report.TrustReport`\\ s;
 * :class:`~repro.framework.monitor.RuntimeMonitor` — the streaming
   (window-by-window) alarm logic that makes it *runtime* rather than
-  one-shot.
+  one-shot;
+* :class:`~repro.framework.batched.BatchedFleetMonitor` — the same
+  alarm logic over a whole fleet at once, held as dense arrays and
+  bit-identical to the per-chip monitors.
 """
 
 from repro.framework.report import TrustReport, Verdict
 from repro.framework.evaluator import RuntimeTrustEvaluator
-from repro.framework.monitor import AlarmEvent, RuntimeMonitor
+from repro.framework.monitor import AlarmEvent, RuntimeMonitor, row_separations
+from repro.framework.batched import BatchedFleetMonitor
 from repro.framework.classifier import Attribution, TrojanClassifier
 
 __all__ = [
@@ -25,6 +29,8 @@ __all__ = [
     "RuntimeTrustEvaluator",
     "AlarmEvent",
     "RuntimeMonitor",
+    "BatchedFleetMonitor",
+    "row_separations",
     "Attribution",
     "TrojanClassifier",
 ]

@@ -39,6 +39,41 @@ class AlarmEvent:
     message: str
 
 
+def row_separations(
+    means: np.ndarray,
+    fingerprint: np.ndarray,
+    work: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Euclidean distance of mean feature vector(s) to the fingerprint.
+
+    Accepts a single ``(features,)`` vector or a ``(rows, features)``
+    matrix and reduces over the last axis.  The reduction is written as
+    an explicit last-axis ufunc reduce — *not* the 1-D BLAS dot that
+    ``np.linalg.norm`` takes on vectors — because the ufunc form is
+    row-independent: the distance of one chip's mean is bitwise the
+    same whether it is computed alone or as one row of a whole fleet's
+    matrix.  Both the sequential :class:`RuntimeMonitor` and the
+    batched :class:`~repro.framework.batched.BatchedFleetMonitor` go
+    through this helper, which is what makes their alarm streams
+    bit-identical.
+
+    *work* (shaped like *means*) and *out* (one slot per row) are
+    optional scratch buffers for hot loops that call this every window;
+    the float64 operation sequence is identical either way.
+    """
+    if work is None:
+        sq = means - fingerprint
+        np.multiply(sq, sq, out=sq)
+    else:
+        np.subtract(means, fingerprint, out=work)
+        np.multiply(work, work, out=work)
+        sq = work
+    if out is None:
+        return np.sqrt(np.add.reduce(sq, axis=-1))
+    return np.sqrt(np.add.reduce(sq, axis=-1), out=out)
+
+
 class RuntimeMonitor:
     """Sliding-window alarm logic on top of a trained evaluator."""
 
@@ -110,7 +145,7 @@ class RuntimeMonitor:
             raise AnalysisError("no windows observed yet")
         mean_feat = self._feature_sum / len(self._features)
         fingerprint = self.evaluator.detector.fingerprint
-        return float(np.linalg.norm(mean_feat - fingerprint))
+        return float(row_separations(mean_feat, fingerprint))
 
     def observe(self, trace: np.ndarray) -> AlarmEvent | None:
         """Feed one trace window; returns an alarm if one fires now."""
@@ -125,9 +160,20 @@ class RuntimeMonitor:
         features`) is the caller's, which lets batch replay pay it once
         per batch and lets instrumented callers time the two stages
         separately (see :mod:`repro.fleet`).
+
+        When the caller already holds float64 rows (the fleet hot path
+        does — :meth:`EuclideanDetector.features` returns them) the
+        input is used as-is: the deque keeps row views into the
+        caller's array, no conversion copy is made.
         """
+        if not (
+            isinstance(feats, np.ndarray) and feats.dtype == np.float64
+        ):
+            feats = np.asarray(feats, dtype=np.float64)
+        if feats.ndim != 2:
+            feats = np.atleast_2d(feats)
         events = []
-        for feat in np.atleast_2d(np.asarray(feats, dtype=np.float64)):
+        for feat in feats:
             event = self._observe_feature(feat)
             if event is not None:
                 events.append(event)

@@ -21,6 +21,8 @@ from repro.logic.simulator import (
     CompiledNetlist,
     PackedState,
     SimulationState,
+    extract_lanes,
+    lane_slices,
     pack_bits,
     resolve_backend,
     unpack_bits,
@@ -49,6 +51,8 @@ __all__ = [
     "CompiledNetlist",
     "PackedState",
     "SimulationState",
+    "extract_lanes",
+    "lane_slices",
     "pack_bits",
     "resolve_backend",
     "unpack_bits",

@@ -136,6 +136,62 @@ def _lane_mask(batch: int) -> np.ndarray:
     return mask
 
 
+def lane_slices(batches) -> list[slice]:
+    """Per-member batch-column slices of a lane-packed group.
+
+    A multi-chip lane pack concatenates several members' stimulus
+    columns into one batch (member 0 in lanes ``[0, b0)``, member 1 in
+    ``[b0, b0 + b1)``, …); this returns the slice locating each
+    member's columns in any ``(..., total_batch)`` array produced by
+    the group run.
+    """
+    slices: list[slice] = []
+    offset = 0
+    for b in batches:
+        if b <= 0:
+            raise SimulationError(
+                f"lane group batches must be positive, got {list(batches)}"
+            )
+        slices.append(slice(offset, offset + b))
+        offset += b
+    return slices
+
+
+def extract_lanes(words: np.ndarray, start: int, count: int) -> np.ndarray:
+    """Pull lanes ``[start, start + count)`` out of packed lane words.
+
+    The inverse of lane-packing several members into shared uint64
+    words: given any ``(..., nwords)`` packed array (state words,
+    toggle matrices, recorded nets), returns a fresh
+    ``(..., packed_words(count))`` array holding just that member's
+    lanes, re-based at bit 0 with padding lanes cleared —
+    ``unpack_bits(extract_lanes(w, s, c), c)`` equals
+    ``unpack_bits(w, total)[..., s:s+c]`` exactly.
+    """
+    if start < 0 or count <= 0:
+        raise SimulationError(
+            f"invalid lane range [{start}, {start + count})"
+        )
+    w = np.asarray(words, dtype=np.uint64)
+    n_out = packed_words(count)
+    word0, shift = divmod(start, WORD_BITS)
+    need = word0 + n_out + (1 if shift else 0)
+    if need > w.shape[-1]:
+        pad = np.zeros(
+            w.shape[:-1] + (need - w.shape[-1],), dtype=np.uint64
+        )
+        w = np.concatenate([w, pad], axis=-1)
+    if shift == 0:
+        out = w[..., word0 : word0 + n_out].copy()
+    else:
+        out = (w[..., word0 : word0 + n_out] >> np.uint64(shift)) | (
+            w[..., word0 + 1 : word0 + 1 + n_out]
+            << np.uint64(WORD_BITS - shift)
+        )
+    out &= _lane_mask(count)
+    return out
+
+
 @dataclass
 class SimulationState:
     """Mutable per-run simulator state.

@@ -1,0 +1,165 @@
+"""Lane-packed group acquisition must match solo acquisitions exactly.
+
+``acquire_group`` packs several same-netlist campaigns (golden vs the
+Trojan variants) into one stepping pass and one blocked activity fold;
+because every per-member RNG stream is derived exactly as the solo
+``acquire`` call derives it, each member's traces, recorded nets and
+plaintext log must be **bit-identical** to its solo acquisition —
+including ragged (non-uniform, non-word-aligned) batch sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chip import AcquisitionEngine, EncryptionWorkload, GroupMember
+from repro.chip.acquire import IdleWorkload
+from repro.errors import MeasurementError, SimulationError
+from repro.logic.simulator import (
+    WORD_BITS,
+    extract_lanes,
+    lane_slices,
+    pack_bits,
+    unpack_bits,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+@pytest.fixture(scope="module")
+def engine(chip, sim_scenario):
+    return AcquisitionEngine(chip, sim_scenario)
+
+
+def _member(chip, name, batch, trojans=()):
+    return GroupMember(
+        name=name,
+        workload=EncryptionWorkload(chip.aes, KEY),
+        batch=batch,
+        trojan_enables=trojans,
+        rng_role=f"group-eq/{name}",
+    )
+
+
+def _solo(chip, engine, name, batch, trojans=(), **kw):
+    return engine.acquire(
+        EncryptionWorkload(chip.aes, KEY),
+        n_cycles=48,
+        batch=batch,
+        trojan_enables=trojans,
+        rng_role=f"group-eq/{name}",
+        **kw,
+    )
+
+
+@pytest.mark.parametrize("backend", ("bool", "packed"))
+def test_ragged_group_matches_solo_acquisitions(chip, engine, backend):
+    """Golden + three Trojans, ragged batches, both backends."""
+    specs = [
+        ("golden", (), 8),
+        ("t1", ("trojan1",), 8),
+        ("t2", ("trojan2",), 12),
+        ("a2", ("a2",), 5),
+    ]
+    members = [_member(chip, n, b, tr) for n, tr, b in specs]
+    group = engine.acquire_group(
+        members,
+        n_cycles=48,
+        record_nets={"busy": chip.aes.busy},
+        backend=backend,
+    )
+    assert list(group) == [m.name for m in members]
+    for (name, trojans, batch), member in zip(specs, members):
+        solo = _solo(chip, engine, name, batch, trojans,
+                     record_nets={"busy": chip.aes.busy})
+        got = group[name]
+        assert got.n_cycles == solo.n_cycles
+        assert got.samples_per_cycle == solo.samples_per_cycle
+        for rcv in solo.traces:
+            assert got.traces[rcv].shape == (batch, solo.n_samples)
+            assert np.array_equal(got.traces[rcv], solo.traces[rcv]), (
+                name, rcv,
+            )
+        for label in solo.recorded:
+            assert np.array_equal(
+                got.recorded[label], solo.recorded[label]
+            ), (name, label)
+        # The stimulus stream is the solo stream, plaintext for
+        # plaintext — the lane pack changed the compute layout only.
+        solo_pts = _solo_plaintexts(chip, name, batch)
+        assert len(member.workload.plaintexts) == len(solo_pts)
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(member.workload.plaintexts, solo_pts)
+        )
+
+
+def _solo_plaintexts(chip, name, batch):
+    from repro.rng import derive
+
+    wl = EncryptionWorkload(chip.aes, KEY)
+    wl.begin(batch, derive(chip.seed, f"group-eq/{name}/workload"))
+    for cycle in range(49):
+        wl.inputs(cycle, batch)
+    return wl.plaintexts
+
+
+def test_mixed_workload_group(chip, engine):
+    """Idle and encrypting members cannot share one stimulus cadence."""
+    members = [
+        GroupMember(name="idle", workload=IdleWorkload(), batch=4),
+        _member(chip, "busy", 4),
+    ]
+    with pytest.raises(MeasurementError):
+        engine.acquire_group(members, n_cycles=16)
+
+
+def test_group_validation(chip, engine):
+    with pytest.raises(MeasurementError):
+        engine.acquire_group([], n_cycles=16)
+    with pytest.raises(MeasurementError):
+        engine.acquire_group(
+            [_member(chip, "a", 4), _member(chip, "a", 4)], n_cycles=16
+        )
+    wl = EncryptionWorkload(chip.aes, KEY)
+    shared = [
+        GroupMember(name="a", workload=wl, batch=4),
+        GroupMember(name="b", workload=wl, batch=4),
+    ]
+    with pytest.raises(MeasurementError):
+        engine.acquire_group(shared, n_cycles=16)
+    with pytest.raises(MeasurementError):
+        engine.acquire_group(
+            [_member(chip, "a", 4, ("nosuch",))], n_cycles=16
+        )
+
+
+# ----------------------------------------------------------------------
+# Lane bookkeeping helpers.
+
+def test_lane_slices_partitions_contiguously():
+    slices = lane_slices([8, 12, 5])
+    assert slices == [slice(0, 8), slice(8, 20), slice(20, 25)]
+    with pytest.raises(SimulationError):
+        lane_slices([8, 0])
+
+
+@pytest.mark.parametrize("start,count", [
+    (0, 7), (3, 61), (64, 64), (60, 10), (1, 129), (95, 33),
+])
+def test_extract_lanes_matches_unpacked_slice(rng, start, count):
+    total = start + count + 11
+    bits = rng.random((5, 3, total)) < 0.5
+    words = pack_bits(bits)
+    sub = extract_lanes(words, start, count)
+    assert sub.shape[-1] == (count + WORD_BITS - 1) // WORD_BITS
+    assert np.array_equal(
+        unpack_bits(sub, count), bits[..., start : start + count]
+    )
+
+
+def test_extract_lanes_validation(rng):
+    words = pack_bits(rng.random((2, 70)) < 0.5)
+    with pytest.raises(SimulationError):
+        extract_lanes(words, -1, 4)
+    with pytest.raises(SimulationError):
+        extract_lanes(words, 0, 0)

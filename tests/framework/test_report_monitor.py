@@ -203,6 +203,32 @@ def test_monitor_observe_stream_equals_per_trace_observe(rng):
     assert vectorised.current_separation() == one_by_one.current_separation()
 
 
+def test_observe_features_keeps_float64_rows_uncopied(rng):
+    # The fleet hot path hands the detector's float64 feature matrix
+    # straight in; the monitor must keep row views, not asarray copies.
+    ev, base = _synthetic_evaluator(rng)
+    monitor = RuntimeMonitor(ev, window=8, confirm=2)
+    stream = base[None, :] + 0.05 * rng.normal(size=(6, base.size))
+    feats = ev.detector.features(stream)
+    assert feats.dtype == np.float64 and feats.ndim == 2
+    monitor.observe_features(feats)
+    for row in monitor._features:
+        assert np.shares_memory(row, feats)
+
+
+def test_observe_features_converts_other_dtypes(rng):
+    # Non-float64 input still goes through one conversion copy.
+    ev, base = _synthetic_evaluator(rng)
+    monitor = RuntimeMonitor(ev, window=4, confirm=2)
+    feats = ev.detector.features(
+        base[None, :] + 0.05 * rng.normal(size=(3, base.size))
+    ).astype(np.float32)
+    monitor.observe_features(feats)
+    for row in monitor._features:
+        assert row.dtype == np.float64
+        assert not np.shares_memory(row, feats)
+
+
 def test_monitor_explicit_threshold(rng):
     ev, base = _synthetic_evaluator(rng)
     monitor = RuntimeMonitor(ev, window=8, confirm=1, threshold=0.25)

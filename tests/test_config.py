@@ -17,6 +17,7 @@ from repro.config import (
     CHUNK_ENV_VAR,
     DEFAULT_CACHE_MB,
     DEFAULT_CHUNK_BYTES,
+    FLEET_SCORING_ENV_VAR,
     FORCE_POOL_ENV_VAR,
     SMOKE_ENV_VAR,
     WORKERS_ENV_VAR,
@@ -45,6 +46,7 @@ class TestPrecedence:
         assert cfg.cache_dir is None
         assert cfg.cache_mb == DEFAULT_CACHE_MB
         assert cfg.bench_smoke is False
+        assert cfg.fleet_scoring == "batched"
         assert cfg.host_cpus >= 1
 
     def test_environment_beats_default(self):
@@ -56,6 +58,7 @@ class TestPrecedence:
             CACHE_DIR_ENV: "/tmp/traces",
             CACHE_MB_ENV: "64",
             SMOKE_ENV_VAR: "1",
+            FLEET_SCORING_ENV_VAR: "sequential",
         })
         assert cfg.workers == 3
         assert cfg.force_pool is True
@@ -64,6 +67,7 @@ class TestPrecedence:
         assert cfg.cache_dir == "/tmp/traces"
         assert cfg.cache_mb == 64
         assert cfg.bench_smoke is True
+        assert cfg.fleet_scoring == "sequential"
 
     def test_argument_beats_environment(self):
         cfg = ReproConfig.resolve(
@@ -113,6 +117,14 @@ class TestValidation:
     def test_unknown_backend(self):
         with pytest.raises(SimulationError, match="bogus"):
             ReproConfig.resolve(environ={BACKEND_ENV_VAR: "bogus"})
+
+    def test_unknown_fleet_scoring_mode(self):
+        with pytest.raises(ExperimentError, match="vectorised"):
+            ReproConfig.resolve(
+                environ={FLEET_SCORING_ENV_VAR: "vectorised"}
+            )
+        with pytest.raises(ExperimentError, match="scoring mode"):
+            ReproConfig(fleet_scoring="serial")
 
     def test_non_integer_cache_mb(self):
         with pytest.raises(ExperimentError, match="not an integer"):
