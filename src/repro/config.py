@@ -69,6 +69,15 @@ SMOKE_ENV_VAR = "REPRO_BENCH_SMOKE"
 #: Fleet scoring engine: ``batched`` (default) or ``sequential``.
 FLEET_SCORING_ENV_VAR = "REPRO_FLEET_SCORING"
 
+#: Fleet shard-worker count (``1`` = single-process, today's path).
+FLEET_SHARDS_ENV_VAR = "REPRO_FLEET_SHARDS"
+
+#: Per-shard ingest queue depth (frames buffered per shard link).
+FLEET_INGEST_DEPTH_ENV_VAR = "REPRO_FLEET_INGEST_DEPTH"
+
+#: Shard transport: ``auto`` (default), ``socket`` or ``inline``.
+FLEET_TRANSPORT_ENV_VAR = "REPRO_FLEET_TRANSPORT"
+
 # -- built-in defaults -------------------------------------------------
 
 #: Default cap on an EM kernel's transient broadcast buffers [bytes].
@@ -82,6 +91,15 @@ SIM_BACKENDS = ("auto", "bool", "packed")
 
 #: Valid fleet scoring modes.
 FLEET_SCORING_MODES = ("batched", "sequential")
+
+#: Valid shard transports.  ``auto`` picks ``socket`` (real processes
+#: + framed unix-socket links) when shards > 1, ``inline`` runs the
+#: shard engines in-process over the same wire encoding (CI-friendly
+#: determinism checks without fork); forcing either is for tests.
+FLEET_TRANSPORTS = ("auto", "socket", "inline")
+
+#: Default per-shard ingest queue depth [frames].
+DEFAULT_FLEET_INGEST_DEPTH = 16
 
 
 def _parse_workers(raw: str) -> int:
@@ -107,6 +125,17 @@ def _parse_cache_mb(raw: str) -> int:
         raise ExperimentError(
             f"{CACHE_MB_ENV}={raw!r} is not an integer"
         ) from None
+
+
+def _parse_int_env(env_var: str):
+    def parse(raw: str) -> int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ExperimentError(
+                f"{env_var}={raw!r} is not an integer"
+            ) from None
+    return parse
 
 
 @dataclass(frozen=True)
@@ -141,6 +170,16 @@ class ReproConfig:
     #: BatchedFleetMonitor`; ``sequential`` keeps the per-session
     #: Python loop.  Both produce bit-identical alarms.
     fleet_scoring: str = "batched"
+    #: Fleet shard-worker count.  ``1`` (the default) runs the classic
+    #: single-process scheduler; ``N > 1`` spreads chips across N
+    #: shard engines behind the framed ingest front-end.
+    fleet_shards: int = 1
+    #: Per-shard ingest queue depth — frames buffered on a shard link
+    #: before the front-end awaits drain (flow control, distinct from
+    #: the per-chip window-batch queue_depth backpressure).
+    fleet_ingest_depth: int = DEFAULT_FLEET_INGEST_DEPTH
+    #: Shard transport: ``auto`` / ``socket`` / ``inline``.
+    fleet_transport: str = "auto"
     #: Host CPU count snapshot; ``0`` means "detect now".  The
     #: single-CPU pool auto-degrade decision is taken from this field,
     #: once, instead of re-reading ``os.cpu_count()`` at every
@@ -196,6 +235,21 @@ class ReproConfig:
                 f"unknown fleet scoring mode {self.fleet_scoring!r}; "
                 f"expected one of {FLEET_SCORING_MODES}"
             )
+        for name, floor in (("fleet_shards", 1), ("fleet_ingest_depth", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError(
+                    f"{name} must be an int, got {value!r}"
+                )
+            if value < floor:
+                raise ExperimentError(
+                    f"{name} must be >= {floor}, got {value}"
+                )
+        if self.fleet_transport not in FLEET_TRANSPORTS:
+            raise ExperimentError(
+                f"unknown fleet transport {self.fleet_transport!r}; "
+                f"expected one of {FLEET_TRANSPORTS}"
+            )
         if not isinstance(self.host_cpus, int) or isinstance(
             self.host_cpus, bool
         ):
@@ -249,6 +303,17 @@ class ReproConfig:
         from_env("cache_mb", CACHE_MB_ENV, _parse_cache_mb)
         from_env("bench_smoke", SMOKE_ENV_VAR, lambda raw: raw == "1")
         from_env("fleet_scoring", FLEET_SCORING_ENV_VAR, str)
+        from_env(
+            "fleet_shards",
+            FLEET_SHARDS_ENV_VAR,
+            _parse_int_env(FLEET_SHARDS_ENV_VAR),
+        )
+        from_env(
+            "fleet_ingest_depth",
+            FLEET_INGEST_DEPTH_ENV_VAR,
+            _parse_int_env(FLEET_INGEST_DEPTH_ENV_VAR),
+        )
+        from_env("fleet_transport", FLEET_TRANSPORT_ENV_VAR, str)
         return cls(**values)
 
     # -- derived views -------------------------------------------------

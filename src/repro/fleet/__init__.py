@@ -13,6 +13,12 @@ output" — scaled out to a fleet of deployed chips:
   queues, an explicit backpressure policy (``block`` /
   ``drop_oldest``, drop counts always surfaced), and worker fan-out
   following the :mod:`repro.experiments.parallel` conventions;
+* :class:`~repro.fleet.ingest.ShardedFleetScheduler` — the
+  multi-process sharded front-end: consistent-hash chip placement
+  (:func:`~repro.fleet.shard.shard_assignments`), a length-prefixed
+  framed wire protocol (:mod:`repro.fleet.wire`), memmapped
+  zero-copy trace hand-off, and per-shard journals/metrics merged
+  back bit-identically to the serial run;
 * :class:`~repro.obs.metrics.MetricsRegistry` and
   :class:`~repro.obs.journal.EventJournal` (shared :mod:`repro.obs`
   package, re-exported here) — counters, gauges,
@@ -36,6 +42,8 @@ from repro.fleet.scheduler import (
     FleetScheduler,
 )
 from repro.fleet.session import MonitorSession, floor_scaled_threshold
+from repro.fleet.ingest import ShardedFleetScheduler
+from repro.fleet.shard import HashRing, shard_assignments
 from repro.fleet.campaign import (
     DEFAULT_FLEET,
     ChipVerdict,
@@ -58,6 +66,9 @@ __all__ = [
     "FleetScheduler",
     "MonitorSession",
     "floor_scaled_threshold",
+    "ShardedFleetScheduler",
+    "HashRing",
+    "shard_assignments",
     "DEFAULT_FLEET",
     "ChipVerdict",
     "FleetCampaignResult",

@@ -31,9 +31,11 @@ from repro.experiments.campaign import (
     shared_chip,
 )
 from repro.experiments.parallel import campaign_spec, run_campaigns
+from repro.config import active_config
 from repro.fleet.feed import NO_FAULTS, FaultSpec, TraceFeed
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
+from repro.fleet.ingest import ShardedFleetScheduler
 from repro.fleet.scheduler import FleetResult, FleetScheduler
 from repro.fleet.session import MonitorSession
 from repro.framework.evaluator import EvaluatorConfig, RuntimeTrustEvaluator
@@ -77,6 +79,15 @@ class FleetConfig:
     #: Scoring engine: ``"batched"``/``"sequential"``, or ``None`` to
     #: defer to the active config (``REPRO_FLEET_SCORING``).
     scoring: str | None = None
+    #: Shard-worker count, or ``None`` to defer to the active config
+    #: (``REPRO_FLEET_SHARDS``).  An effective count of 1 keeps the
+    #: campaign on the plain :class:`~repro.fleet.scheduler.
+    #: FleetScheduler` path, byte-identical to a build without the
+    #: sharded service.
+    shards: int | None = None
+    #: Shard transport (``"auto"``/``"socket"``/``"inline"``), or
+    #: ``None`` to defer to ``REPRO_FLEET_TRANSPORT``.
+    transport: str | None = None
     #: Link fault injection applied to every feed.
     faults: FaultSpec = NO_FAULTS
     #: Spectral sweep: record length, inspected band, boost criterion.
@@ -295,16 +306,38 @@ def run_fleet_campaign(
         )
         for chip_id in ids
     ]
-    scheduler = FleetScheduler(
-        sessions,
-        queue_depth=config.queue_depth,
-        policy=config.policy,
-        workers=config.workers,
-        consume_every=config.consume_every,
-        scoring=config.scoring,
-        journal=journal,
-        metrics=metrics,
+    shards = (
+        config.shards
+        if config.shards is not None
+        else active_config().fleet_shards
     )
+    if min(shards, len(ids)) > 1:
+        # Sharded service: the multi-process front-end owns the tick
+        # loop, shard workers own the scoring (so the thread fan-out
+        # knob does not apply).  Alarms, counters and journal content
+        # are bit-identical to the serial path by construction.
+        scheduler = ShardedFleetScheduler(
+            sessions,
+            queue_depth=config.queue_depth,
+            policy=config.policy,
+            consume_every=config.consume_every,
+            scoring=config.scoring,
+            shards=shards,
+            transport=config.transport,
+            journal=journal,
+            metrics=metrics,
+        )
+    else:
+        scheduler = FleetScheduler(
+            sessions,
+            queue_depth=config.queue_depth,
+            policy=config.policy,
+            workers=config.workers,
+            consume_every=config.consume_every,
+            scoring=config.scoring,
+            journal=journal,
+            metrics=metrics,
+        )
     fleet_result = scheduler.run(feeds)
 
     # Frequency-domain sweep: every chip's record against the golden

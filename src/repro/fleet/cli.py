@@ -77,6 +77,14 @@ def _parser() -> argparse.ArgumentParser:
                    default=None,
                    help="scoring engine (default: REPRO_FLEET_SCORING, "
                         "i.e. batched)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="shard worker processes (default: "
+                        "REPRO_FLEET_SHARDS, i.e. 1 = the serial "
+                        "single-process path)")
+    p.add_argument("--transport", choices=("auto", "socket", "inline"),
+                   default=None,
+                   help="shard transport (default: "
+                        "REPRO_FLEET_TRANSPORT, i.e. auto)")
     p.add_argument("--spectral-cycles", type=int, default=None,
                    help="spectral sweep record length [cycles]")
     p.add_argument("--drop", type=float, default=0.0,
@@ -112,6 +120,8 @@ def _config_from(args: argparse.Namespace) -> FleetConfig:
         ("campaign_workers", "campaign_workers"),
         ("consume_every", "consume_every"),
         ("scoring", "scoring"),
+        ("shards", "shards"),
+        ("transport", "transport"),
         ("spectral_cycles", "spectral_cycles"),
     ):
         value = getattr(args, arg_name)
@@ -138,6 +148,11 @@ def _summary(result: FleetCampaignResult) -> dict:
         },
         "scoring_mode": result.config.scoring
         or active_config().fleet_scoring,
+        "shards": (
+            result.config.shards
+            if result.config.shards is not None
+            else active_config().fleet_shards
+        ),
         "throughput_windows_per_s": fleet.throughput,
         "elapsed_seconds": fleet.elapsed_seconds,
         "windows_ingested": fleet.windows_ingested,

@@ -163,6 +163,17 @@ class TraceFeed:
         self.reordered = reordered
 
     @property
+    def source_traces(self) -> np.ndarray:
+        """The underlying campaign matrix (pre-fault, read-only use).
+
+        The sharded front-end persists this once per chip through
+        :func:`repro.io.store.save_stream_store`; a shard rebuilding
+        the feed from the saved matrix with the same ``(batch, faults,
+        seed)`` recovers the identical delivery schedule.
+        """
+        return self._traces
+
+    @property
     def n_source_windows(self) -> int:
         """Windows in the underlying campaign (pre-fault)."""
         return self._traces.shape[0]
@@ -190,6 +201,19 @@ class TraceFeed:
             traces=self._traces[sel],
             seq_array=sel,
         )
+
+    def seqs_at(self, index: int) -> tuple[int, ...]:
+        """The *index*-th batch's sequence numbers, without trace rows.
+
+        Drop accounting and the sharded front-end only need the seqs;
+        this skips the fancy-indexed row copy :meth:`batch_at` pays
+        (which materialises memmapped rows into memory).
+        """
+        if not 0 <= index < self.n_batches:
+            raise ExperimentError(
+                f"batch index {index} out of range [0, {self.n_batches})"
+            )
+        return self.delivered_seqs[index * self.batch:(index + 1) * self.batch]
 
     def __iter__(self):
         for i in range(self.n_batches):

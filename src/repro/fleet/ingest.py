@@ -1,0 +1,747 @@
+"""Sharded fleet front-end: asyncio ingest over the framed wire.
+
+:class:`ShardedFleetScheduler` scales the single-process
+:class:`~repro.fleet.scheduler.FleetScheduler` across shard worker
+processes while preserving its **bit-identity guarantee**: a sharded
+run's alarms, deterministic counters and journal bytes equal a
+single-process run over the same arrival order.  The design splits the
+scheduler's serial loop along its natural seam:
+
+* the **front-end** (this class) owns the production loop — the tick
+  counter, per-chip pending queues, the block/drop_oldest backpressure
+  decisions and their journal/counter accounting.  These decisions
+  need no feedback from scoring: consumption cadence is a pure
+  function of ``consume_every``, so the front-end replays exactly the
+  bookkeeping :meth:`FleetScheduler._run_serial` would, without ever
+  touching a trace row (batch *indices* and
+  :meth:`~repro.fleet.feed.TraceFeed.seqs_at` suffice);
+* the **shards** own scoring — each runs the PR 6
+  :class:`~repro.framework.batched.BatchedFleetMonitor` over its chip
+  subset, fed ``BATCH``/``TICK`` frames that carry ``(tick, chip,
+  batch_index)`` coordinates.  Trace rows never cross the wire: the
+  front-end persists each chip's stream once
+  (:func:`~repro.io.store.save_stream_store`) and shards map it
+  read-only, rebuilding the identical deterministic
+  :class:`~repro.fleet.feed.TraceFeed` from ``(seed, chip_id)``.
+
+Scoring a chip subset batched is bitwise equal to scoring it inside
+the full-fleet engine (row-wise normalisation and the separation
+reduce are row-independent; a fitted PCA already falls back per-chip),
+so splitting the fleet changes no float.  Event *order* is restored at
+the end: every shard event is tagged ``(tick, phase)`` (0 =
+production-phase block drains, 1 = consumption sweeps), the front-end
+tags its own drop events the same way, and the merge stable-sorts by
+``(tick, phase, global chip index)`` — reproducing the serial loop's
+interleave exactly, because within one ``(tick, phase)`` the serial
+loop walks chips in global order and all of one chip's events come
+from one source.
+
+Transports: ``socket`` forks real worker processes connected over a
+unix-domain socket served by this process's asyncio loop, with an
+:class:`AsyncBoundedQueue` per link bounding in-flight frames
+(``fleet_ingest_depth``); ``inline`` runs the same engines in-process
+through the same encoded frames (determinism checks without fork);
+``auto`` picks ``socket`` when real parallelism is requested.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import (
+    FLEET_SCORING_MODES,
+    FLEET_TRANSPORTS,
+    active_config,
+)
+from repro.errors import ExperimentError
+from repro.fleet.feed import TraceFeed
+from repro.fleet.scheduler import (
+    POLICIES,
+    FleetResult,
+    chip_report_from,
+    journal_queue_drop,
+)
+from repro.fleet.session import MonitorSession
+from repro.fleet.shard import (
+    ShardEngine,
+    evaluator_to_wire,
+    shard_assignments,
+    shard_worker_main,
+)
+from repro.fleet.wire import (
+    BATCH,
+    ERROR,
+    HELLO,
+    INIT,
+    RESULT,
+    SHUTDOWN,
+    STATE,
+    TICK,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.io.store import save_stream_store
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
+
+
+class AsyncBoundedQueue:
+    """Bounded asyncio FIFO with high-water tracking.
+
+    The per-shard-link flow control: the front-end ``put``\\ s encoded
+    frames and **awaits** when the queue is full — the explicit
+    ``block`` semantics of the scheduler's
+    :class:`~repro.fleet.scheduler.BoundedQueue`, carried over to the
+    ingest path (frames are never silently dropped; trace-window
+    eviction policy lives in the per-chip queues, not here).
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ExperimentError(
+                f"ingest queue depth must be >= 1, got {depth}"
+            )
+        self.depth = depth
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=depth)
+        self.high_water = 0
+
+    async def put(self, item) -> None:
+        await self._queue.put(item)
+        self.high_water = max(self.high_water, self._queue.qsize())
+
+    async def get(self):
+        return await self._queue.get()
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+
+class _InlineLink:
+    """In-process shard link: same frames, no processes.
+
+    Frames are still encoded to bytes and decoded on "arrival", so the
+    inline transport exercises the exact wire codec the socket path
+    uses — which is what lets CI assert sharded-vs-serial determinism
+    without fork.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.engine = ShardEngine(shard_id)
+        self.frames_sent = 0
+
+    async def send(self, kind: int, header: dict) -> None:
+        self.frames_sent += 1
+        self.engine.handle(*decode_frame(encode_frame(kind, header)))
+
+    async def request_state(self) -> dict:
+        self.frames_sent += 1
+        response = self.engine.handle(
+            *decode_frame(encode_frame(RESULT, {}))
+        )
+        kind, header, _ = response
+        if kind == ERROR:
+            raise ExperimentError(
+                f"shard {self.shard_id} failed:\n{header['error']}"
+            )
+        return header
+
+    async def shutdown(self) -> None:
+        pass
+
+
+class _SocketLink:
+    """One connected shard worker behind a bounded sender queue."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        process: multiprocessing.Process,
+        depth: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.reader = reader
+        self.writer = writer
+        self.process = process
+        self.queue = AsyncBoundedQueue(depth)
+        self.frames_sent = 0
+        self._sender = asyncio.get_running_loop().create_task(
+            self._drain()
+        )
+        self._failed: BaseException | None = None
+
+    async def _drain(self) -> None:
+        while True:
+            item = await self.queue.get()
+            if item is None:
+                return
+            try:
+                self.writer.write(item)
+                await self.writer.drain()
+            except BaseException as exc:
+                self._failed = exc
+                return
+
+    async def send(self, kind: int, header: dict) -> None:
+        if self._failed is not None:
+            raise ExperimentError(
+                f"shard {self.shard_id} link failed: {self._failed!r}"
+            )
+        self.frames_sent += 1
+        await self.queue.put(encode_frame(kind, header))
+
+    async def request_state(self) -> dict:
+        await self.send(RESULT, {})
+        await self.queue.put(None)
+        await self._sender
+        if self._failed is not None:
+            raise ExperimentError(
+                f"shard {self.shard_id} link failed: {self._failed!r}"
+            )
+        kind, header, _ = await read_frame(self.reader)
+        if kind == ERROR:
+            raise ExperimentError(
+                f"shard {self.shard_id} failed:\n{header['error']}"
+            )
+        if kind != STATE:
+            raise ExperimentError(
+                f"shard {self.shard_id} answered RESULT with frame "
+                f"kind {kind!r}"
+            )
+        return header
+
+    async def shutdown(self) -> None:
+        if not self._sender.done():
+            # Error-path exit: drop whatever is still queued (the run
+            # already failed) so SHUTDOWN goes out promptly.
+            self._sender.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sender
+        try:
+            await write_frame(self.writer, SHUTDOWN, {})
+            self.writer.close()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        self.process.join(timeout=30)
+        if self.process.is_alive():  # pragma: no cover - watchdog
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+class ShardedFleetScheduler:
+    """Multi-process fleet front-end, bit-identical to the serial path.
+
+    The constructor mirrors :class:`~repro.fleet.scheduler.
+    FleetScheduler` (sessions, queue_depth, policy, consume_every,
+    journal, metrics, scoring) and adds the sharding knobs.  Its
+    :meth:`state_dict` emits the *exact* serial-scheduler schema, so a
+    checkpoint taken by either topology resumes under either — the
+    cross-topology interconversion the tests assert.
+    """
+
+    def __init__(
+        self,
+        sessions: list[MonitorSession],
+        queue_depth: int = 8,
+        policy: str = "block",
+        consume_every: int = 1,
+        journal: EventJournal | None = None,
+        metrics: MetricsRegistry | None = None,
+        scoring: str | None = None,
+        shards: int | None = None,
+        transport: str | None = None,
+        ingest_depth: int | None = None,
+    ) -> None:
+        if not sessions:
+            raise ExperimentError("fleet needs at least one session")
+        ids = [s.chip_id for s in sessions]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError(f"chip ids must be unique, got {ids}")
+        if policy not in POLICIES:
+            raise ExperimentError(
+                f"unknown backpressure policy {policy!r}; "
+                f"expected one of {POLICIES}"
+            )
+        if consume_every < 1:
+            raise ExperimentError(
+                f"consume_every must be >= 1, got {consume_every}"
+            )
+        if scoring is not None and scoring not in FLEET_SCORING_MODES:
+            raise ExperimentError(
+                f"unknown fleet scoring mode {scoring!r}; "
+                f"expected one of {FLEET_SCORING_MODES}"
+            )
+        if shards is not None and shards < 1:
+            raise ExperimentError(
+                f"shard count must be >= 1, got {shards}"
+            )
+        if transport is not None and transport not in FLEET_TRANSPORTS:
+            raise ExperimentError(
+                f"unknown fleet transport {transport!r}; "
+                f"expected one of {FLEET_TRANSPORTS}"
+            )
+        if ingest_depth is not None and ingest_depth < 1:
+            raise ExperimentError(
+                f"ingest queue depth must be >= 1, got {ingest_depth}"
+            )
+        self.sessions = {s.chip_id: s for s in sessions}
+        self.order = ids
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.consume_every = consume_every
+        self.journal = journal if journal is not None else sessions[0].journal
+        self.metrics = metrics if metrics is not None else sessions[0].metrics
+        self.scoring = scoring
+        self.shards = shards
+        self.transport = transport
+        self.ingest_depth = ingest_depth
+        self._tick = 0
+        self._produced: dict[str, int] = {c: 0 for c in ids}
+        self._pending: dict[str, list[int]] = {c: [] for c in ids}
+        self._queue_dropped: dict[str, list[int]] = {c: [] for c in ids}
+        self._chip_index = {c: i for i, c in enumerate(ids)}
+
+    # -- knob resolution (argument > env/config > default) -------------
+    def effective_shards(self) -> int:
+        n = (
+            self.shards
+            if self.shards is not None
+            else active_config().fleet_shards
+        )
+        # Never more shards than chips — empty shards would idle.
+        return max(1, min(n, len(self.order)))
+
+    def effective_transport(self) -> str:
+        t = (
+            self.transport
+            if self.transport is not None
+            else active_config().fleet_transport
+        )
+        if t == "auto":
+            return "socket" if self.effective_shards() > 1 else "inline"
+        return t
+
+    def effective_ingest_depth(self) -> int:
+        return (
+            self.ingest_depth
+            if self.ingest_depth is not None
+            else active_config().fleet_ingest_depth
+        )
+
+    def scoring_mode(self) -> str:
+        if self.scoring is not None:
+            return self.scoring
+        return active_config().fleet_scoring
+
+    # -- the run -------------------------------------------------------
+    def run(
+        self,
+        feeds: list[TraceFeed],
+        max_ticks: int | None = None,
+        store_dir: str | Path | None = None,
+    ) -> FleetResult:
+        """Stream every feed through the sharded fleet.
+
+        Semantics match :meth:`FleetScheduler.run` in serial mode:
+        ``max_ticks`` checkpoints at a tick boundary (journalling the
+        same ``checkpoint`` event) and leaves :meth:`state_dict`
+        resumable.  *store_dir* overrides where the per-chip stream
+        stores are written (default: a temporary directory that lives
+        only for this call).
+        """
+        feed_map = {f.chip_id: f for f in feeds}
+        if sorted(feed_map) != sorted(self.order):
+            raise ExperimentError(
+                f"feeds {sorted(feed_map)} do not match sessions "
+                f"{sorted(self.order)}"
+            )
+        start = time.perf_counter()
+        if store_dir is not None:
+            complete = asyncio.run(
+                self._run_async(feed_map, max_ticks, Path(store_dir))
+            )
+        else:
+            with tempfile.TemporaryDirectory(
+                prefix="repro-fleet-shard-"
+            ) as tmp:
+                complete = asyncio.run(
+                    self._run_async(feed_map, max_ticks, Path(tmp))
+                )
+        elapsed = time.perf_counter() - start
+        self.journal.flush()
+        reports = {
+            chip_id: chip_report_from(
+                chip_id,
+                feed_map[chip_id],
+                self.sessions[chip_id],
+                self._queue_dropped[chip_id],
+                self.metrics,
+            )
+            for chip_id in self.order
+        }
+        return FleetResult(
+            reports=reports,
+            complete=complete,
+            ticks=self._tick,
+            elapsed_seconds=elapsed,
+            metrics=self.metrics.snapshot(),
+            journal_path=(
+                str(self.journal.path) if self.journal.path else None
+            ),
+        )
+
+    async def _run_async(
+        self,
+        feed_map: dict[str, TraceFeed],
+        max_ticks: int | None,
+        store_dir: Path,
+    ) -> bool:
+        store_dir.mkdir(parents=True, exist_ok=True)
+        n_shards = self.effective_shards()
+        transport = self.effective_transport()
+        owner = shard_assignments(self.order, n_shards)
+        self.metrics.gauge("fleet.shards").max(n_shards)
+        links = await self._open_links(n_shards, transport, store_dir)
+        try:
+            await self._init_shards(
+                links, owner, feed_map, store_dir, n_shards
+            )
+            complete = await self._produce(feed_map, links, owner, max_ticks)
+            states = [await link.request_state() for link in links]
+        finally:
+            for link in links:
+                await link.shutdown()
+        self._merge(states)
+        if not complete:
+            # Composed after the merge so it lands at the journal tail,
+            # exactly where the serial loop records it.
+            self.journal.record(
+                "checkpoint",
+                tick=self._tick,
+                windows={
+                    c: self.sessions[c].windows_ingested
+                    for c in self.order
+                },
+            )
+        for link in links:
+            self.metrics.counter(
+                f"shard.{link.shard_id}.frames"
+            ).inc(link.frames_sent)
+            if isinstance(link, _SocketLink):
+                self.metrics.gauge(
+                    f"shard.{link.shard_id}.ingest_high_water"
+                ).max(link.queue.high_water)
+        return complete
+
+    async def _open_links(
+        self, n_shards: int, transport: str, store_dir: Path
+    ) -> list:
+        if transport == "inline":
+            return [_InlineLink(i) for i in range(n_shards)]
+        if transport != "socket":
+            raise ExperimentError(
+                f"unknown fleet transport {transport!r}"
+            )
+        depth = self.effective_ingest_depth()
+        store_dir.mkdir(parents=True, exist_ok=True)
+        address = str(store_dir / "ingest.sock")
+        pending: dict[int, tuple] = {}
+        connected = asyncio.Event()
+
+        async def on_connect(reader, writer):
+            kind, header, _ = await read_frame(reader)
+            if kind != HELLO:
+                writer.close()
+                return
+            pending[int(header["shard"])] = (reader, writer)
+            if len(pending) == n_shards:
+                connected.set()
+
+        server = await asyncio.start_unix_server(on_connect, path=address)
+        ctx = multiprocessing.get_context("fork")
+        processes = [
+            ctx.Process(
+                target=shard_worker_main,
+                args=(address, shard_id),
+                daemon=True,
+            )
+            for shard_id in range(n_shards)
+        ]
+        for p in processes:
+            p.start()
+        try:
+            await asyncio.wait_for(connected.wait(), timeout=60)
+        except asyncio.TimeoutError:
+            for p in processes:
+                p.terminate()
+            raise ExperimentError(
+                f"only {len(pending)}/{n_shards} shard workers "
+                "connected within 60s"
+            ) from None
+        finally:
+            server.close()
+            await server.wait_closed()
+        return [
+            _SocketLink(
+                shard_id,
+                *pending[shard_id],
+                process=processes[shard_id],
+                depth=depth,
+            )
+            for shard_id in range(n_shards)
+        ]
+
+    async def _init_shards(
+        self,
+        links: list,
+        owner: dict[str, int],
+        feed_map: dict[str, TraceFeed],
+        store_dir: Path,
+        n_shards: int,
+    ) -> None:
+        # Persist each chip's stream once; frames then carry refs.
+        refs = {}
+        for chip_id in self.order:
+            feed = feed_map[chip_id]
+            refs[chip_id] = save_stream_store(
+                feed.source_traces,
+                store_dir / f"stream-{chip_id}.npy",
+                chip_id=chip_id,
+            )
+        scoring = self.scoring_mode()
+        evaluator_state = evaluator_to_wire(
+            self.sessions[self.order[0]].evaluator
+        )
+        for shard_id, link in enumerate(links):
+            chips = [
+                {
+                    "chip_id": chip_id,
+                    "session": self.sessions[chip_id].state_dict(),
+                    "feed": {
+                        "ref": refs[chip_id].as_dict(),
+                        "batch": feed_map[chip_id].batch,
+                        "faults": [
+                            feed_map[chip_id].faults.drop,
+                            feed_map[chip_id].faults.duplicate,
+                            feed_map[chip_id].faults.reorder,
+                        ],
+                        "seed": feed_map[chip_id].seed,
+                    },
+                }
+                for chip_id in self.order
+                if owner[chip_id] == shard_id
+            ]
+            await link.send(
+                INIT,
+                {
+                    "shard": shard_id,
+                    "scoring": scoring,
+                    "evaluator": evaluator_state,
+                    "chips": chips,
+                },
+            )
+
+    async def _produce(
+        self,
+        feed_map: dict[str, TraceFeed],
+        links: list,
+        owner: dict[str, int],
+        max_ticks: int | None,
+    ) -> bool:
+        """The serial production loop, scoring delegated to shards.
+
+        Bookkeeping (tick counter, pending indices, drop decisions,
+        high-water gauges) is line-for-line the serial scheduler's —
+        the *only* difference is that ingestion becomes a frame send.
+        """
+        produced, pending = self._produced, self._pending
+        hw_gauges = {
+            c: self.metrics.gauge(f"chip.{c}.queue_high_water")
+            for c in self.order
+        }
+        while True:
+            live = any(
+                produced[c] < feed_map[c].n_batches or pending[c]
+                for c in self.order
+            )
+            if not live:
+                return True
+            if max_ticks is not None and self._tick >= max_ticks:
+                return False
+            self._tick += 1
+            for chip_id in self.order:
+                feed = feed_map[chip_id]
+                i = produced[chip_id]
+                if i >= feed.n_batches:
+                    continue
+                if len(pending[chip_id]) >= self.queue_depth:
+                    if self.policy == "drop_oldest":
+                        index = pending[chip_id].pop(0)
+                        self._queue_dropped[chip_id].append(index)
+                        with self.journal.annotate(
+                            tick=self._tick, phase=0
+                        ):
+                            journal_queue_drop(
+                                self.journal,
+                                self.metrics,
+                                chip_id,
+                                index,
+                                feed.seqs_at(index),
+                            )
+                    else:
+                        # Created lazily, exactly like the serial loop,
+                        # so an all-clear run snapshots no counter.
+                        self.metrics.counter("fleet.queue.blocked").inc()
+                        oldest = pending[chip_id].pop(0)
+                        await links[owner[chip_id]].send(
+                            BATCH,
+                            {
+                                "tick": self._tick,
+                                "chip": chip_id,
+                                "batch": oldest,
+                            },
+                        )
+                hw_gauges[chip_id].max(len(pending[chip_id]) + 1)
+                pending[chip_id].append(i)
+                produced[chip_id] = i + 1
+            if self._tick % self.consume_every == 0:
+                arrivals: dict[int, list] = {}
+                for chip_id in self.order:
+                    if pending[chip_id]:
+                        arrivals.setdefault(owner[chip_id], []).append(
+                            [chip_id, pending[chip_id].pop(0)]
+                        )
+                for shard_id, batch_list in arrivals.items():
+                    await links[shard_id].send(
+                        TICK,
+                        {"tick": self._tick, "arrivals": batch_list},
+                    )
+
+    # -- merging shard state back -------------------------------------
+    def _merge(self, states: list[dict]) -> None:
+        """Fold shard results into this process, restoring event order."""
+        evaluator = self.sessions[self.order[0]].evaluator
+        for state in states:
+            self.metrics.merge_state(state["metrics"])
+            for chip_id, session_state in state["sessions"].items():
+                self.sessions[chip_id] = MonitorSession.from_state(
+                    session_state,
+                    evaluator,
+                    metrics=self.metrics,
+                    journal=self.journal,
+                )
+        head = [
+            event
+            for tag, event in self.journal.tagged()
+            if tag is None
+        ]
+        tagged = [
+            (tag, event)
+            for tag, event in self.journal.tagged()
+            if tag is not None
+        ]
+        for state in states:
+            tagged.extend(
+                (tag, event) for tag, event in state["journal"]
+            )
+        # Stable sort restores the serial interleave: within one
+        # (tick, phase) the serial loop walks chips in global order,
+        # and all of one chip's same-phase events come from one source,
+        # so their recorded order is preserved.
+        tagged.sort(
+            key=lambda item: (
+                item[0]["tick"],
+                item[0]["phase"],
+                self._chip_index[item[1]["chip"]],
+            )
+        )
+        self.journal.rewrite(head + [event for _, event in tagged])
+
+    # -- checkpointing -------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpoint in the serial scheduler's exact schema.
+
+        A sharded checkpoint resumes under
+        :meth:`FleetScheduler.from_state` (single-process sequential or
+        batched) and vice versa — the cross-topology interconversion
+        guarantee.  Valid after :meth:`run` returned (complete or
+        checkpointed); the shard workers are already gone by then, the
+        merged session states live here.
+        """
+        return {
+            "tick": self._tick,
+            "queue_depth": self.queue_depth,
+            "policy": self.policy,
+            "consume_every": self.consume_every,
+            "order": list(self.order),
+            "produced": dict(self._produced),
+            "pending": {c: list(v) for c, v in self._pending.items()},
+            "queue_dropped": {
+                c: list(v) for c, v in self._queue_dropped.items()
+            },
+            "sessions": {
+                c: self.sessions[c].state_dict() for c in self.order
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        evaluator,
+        journal: EventJournal | None = None,
+        metrics: MetricsRegistry | None = None,
+        shards: int | None = None,
+        transport: str | None = None,
+        ingest_depth: int | None = None,
+    ) -> "ShardedFleetScheduler":
+        """Resume any scheduler's checkpoint under the sharded topology.
+
+        Accepts checkpoints written by :meth:`state_dict` *or* by the
+        serial :meth:`FleetScheduler.state_dict` — the schema is
+        shared.  The next :meth:`run` re-INITs fresh shard workers from
+        the restored mid-stream session states.
+        """
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        journal = journal if journal is not None else EventJournal()
+        sessions = [
+            MonitorSession.from_state(
+                state["sessions"][chip_id],
+                evaluator,
+                metrics=metrics,
+                journal=journal,
+            )
+            for chip_id in state["order"]
+        ]
+        scheduler = cls(
+            sessions,
+            queue_depth=int(state["queue_depth"]),
+            policy=state["policy"],
+            consume_every=int(state["consume_every"]),
+            journal=journal,
+            metrics=metrics,
+            shards=shards,
+            transport=transport,
+            ingest_depth=ingest_depth,
+        )
+        scheduler._tick = int(state["tick"])
+        scheduler._produced = {
+            c: int(v) for c, v in state["produced"].items()
+        }
+        scheduler._pending = {
+            c: [int(i) for i in v] for c, v in state["pending"].items()
+        }
+        scheduler._queue_dropped = {
+            c: [int(i) for i in v]
+            for c, v in state["queue_dropped"].items()
+        }
+        return scheduler

@@ -1,0 +1,292 @@
+"""Shard workers: consistent chip placement + the per-shard engine.
+
+A shard is one worker process (or, under the ``inline`` transport, one
+in-process engine) owning a fixed subset of the fleet's chips.  Three
+pieces live here:
+
+* :class:`HashRing` / :func:`shard_assignments` — deterministic
+  consistent-hash chip→shard placement.  Hashing is SHA-256 over the
+  chip id (NOT Python's per-process-salted ``hash()``), so every
+  process — front-end, workers, a resumed run next week — computes the
+  same placement, and adding a shard moves only ``~1/n`` of the chips.
+* :class:`ShardEngine` — the state machine a shard runs: it rebuilds
+  its sessions and trace feeds from an ``INIT`` frame (traces arrive
+  as memmapped :class:`~repro.io.store.StreamStoreRef`\\ s — the shard
+  maps the front-end's file read-only instead of receiving bytes),
+  scores ``BATCH``/``TICK`` frames through the PR 6
+  :class:`~repro.framework.batched.BatchedFleetMonitor` *unchanged*,
+  and answers ``RESULT`` with its session states, tagged journal
+  events and metrics state.
+* :func:`shard_worker_main` — the child-process entry point: connect
+  back to the front-end's unix socket, say ``HELLO``, then loop
+  frames until ``SHUTDOWN``.
+
+Every journal event a shard records is tagged (via
+:meth:`~repro.obs.journal.EventJournal.annotate`) with the global
+scheduler tick and phase the front-end stamped on the frame, which is
+what lets the front-end merge per-shard journals back into the exact
+single-process event order (see :mod:`repro.fleet.ingest`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import socket
+import traceback
+
+from repro.analysis.euclidean import EuclideanDetector
+from repro.errors import ExperimentError
+from repro.fleet.feed import FaultSpec, TraceFeed
+from repro.fleet.session import MonitorSession
+from repro.fleet.wire import (
+    BATCH,
+    ERROR,
+    HELLO,
+    INIT,
+    RESULT,
+    SHUTDOWN,
+    STATE,
+    TICK,
+    recv_frame,
+    send_frame,
+)
+from repro.framework.batched import BatchedFleetMonitor
+from repro.framework.evaluator import EvaluatorConfig, RuntimeTrustEvaluator
+from repro.io.store import open_stream_store
+from repro.obs.journal import EventJournal
+from repro.obs.metrics import MetricsRegistry
+
+#: Virtual nodes per shard on the hash ring.  Enough to keep the
+#: placement balanced at small shard counts without making ring
+#: construction noticeable.
+VIRTUAL_NODES = 64
+
+
+def _ring_hash(key: str) -> int:
+    """Stable 64-bit position on the ring (process-salt free)."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping chip ids to shard indices."""
+
+    def __init__(
+        self, n_shards: int, virtual_nodes: int = VIRTUAL_NODES
+    ) -> None:
+        if n_shards < 1:
+            raise ExperimentError(
+                f"shard count must be >= 1, got {n_shards}"
+            )
+        if virtual_nodes < 1:
+            raise ExperimentError(
+                f"virtual node count must be >= 1, got {virtual_nodes}"
+            )
+        self.n_shards = n_shards
+        points = []
+        for shard in range(n_shards):
+            for vnode in range(virtual_nodes):
+                points.append(
+                    (_ring_hash(f"shard/{shard}/vnode/{vnode}"), shard)
+                )
+        points.sort()
+        self._points = points
+        self._positions = [p for p, _ in points]
+
+    def owner(self, chip_id: str) -> int:
+        """The shard owning *chip_id* (first point clockwise)."""
+        h = _ring_hash(f"chip/{chip_id}")
+        i = bisect.bisect_right(self._positions, h)
+        if i == len(self._positions):
+            i = 0
+        return self._points[i][1]
+
+
+def shard_assignments(
+    chip_ids: list[str], n_shards: int
+) -> dict[str, int]:
+    """Deterministic chip→shard placement for the whole fleet.
+
+    Pure function of ``(chip_ids, n_shards)`` — identical in every
+    process and across runs, which checkpoint/resume relies on.
+    """
+    ring = HashRing(n_shards)
+    return {chip_id: ring.owner(chip_id) for chip_id in chip_ids}
+
+
+# -- evaluator transfer ------------------------------------------------
+
+def evaluator_to_wire(evaluator: RuntimeTrustEvaluator) -> dict:
+    """The evaluator state a shard needs, JSON-encodable.
+
+    Shards only score time-domain windows (feature extraction + the
+    sliding separation test), so the fitted detector and the sample
+    rate suffice; the golden spectrum stays with the front-end, which
+    owns the spectral sweep.  Detector floats cross as JSON — Python's
+    float encoding is shortest-round-trip, so every float64 in the
+    fingerprint survives exactly and shard-side features are bitwise
+    equal to front-end ones.
+    """
+    return {
+        "detector": evaluator.detector.state_dict(),
+        "fs": float(evaluator.fs),
+    }
+
+
+def evaluator_from_wire(data: dict) -> RuntimeTrustEvaluator:
+    """Rebuild the scoring-only evaluator in a shard process."""
+    return RuntimeTrustEvaluator(
+        detector=EuclideanDetector.from_state(data["detector"]),
+        golden_spectrum=None,
+        fs=float(data["fs"]),
+        config=EvaluatorConfig(),
+    )
+
+
+# -- the shard engine --------------------------------------------------
+
+class ShardEngine:
+    """One shard's frame handler (shared by socket and inline runs)."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.journal = EventJournal()
+        self.metrics = MetricsRegistry()
+        self.sessions: dict[str, MonitorSession] = {}
+        self.order: list[str] = []
+        self.feeds: dict[str, TraceFeed] = {}
+        self.evaluator: RuntimeTrustEvaluator | None = None
+        self._engine: BatchedFleetMonitor | None = None
+        self._error: str | None = None
+
+    # -- frame dispatch ------------------------------------------------
+    def handle(
+        self, kind: int, header: dict, payload: bytes = b""
+    ) -> tuple[int, dict, bytes] | None:
+        """Process one frame; returns a response frame for ``RESULT``.
+
+        A failure on any frame latches into an ``ERROR`` response at
+        the next ``RESULT`` request instead of killing the link —
+        the front-end always gets the traceback, never a dead socket.
+        """
+        if self._error is not None and kind != RESULT:
+            return None
+        try:
+            if kind == INIT:
+                self._init(header)
+            elif kind == BATCH:
+                self._batch(header)
+            elif kind == TICK:
+                self._tick(header)
+            elif kind == RESULT:
+                return self._result()
+            else:
+                raise ExperimentError(
+                    f"shard {self.shard_id} cannot handle frame kind "
+                    f"{kind!r}"
+                )
+        except BaseException:
+            self._error = traceback.format_exc()
+            if kind == RESULT:
+                return (ERROR, {"error": self._error}, b"")
+        return None
+
+    def _init(self, header: dict) -> None:
+        self.evaluator = evaluator_from_wire(header["evaluator"])
+        scoring = header["scoring"]
+        self.order = [spec["chip_id"] for spec in header["chips"]]
+        self.sessions = {}
+        self.feeds = {}
+        for spec in header["chips"]:
+            chip_id = spec["chip_id"]
+            session = MonitorSession.from_state(
+                spec["session"],
+                self.evaluator,
+                metrics=self.metrics,
+                journal=self.journal,
+            )
+            self.sessions[chip_id] = session
+            feed_spec = spec["feed"]
+            traces = open_stream_store(feed_spec["ref"])
+            self.feeds[chip_id] = TraceFeed(
+                chip_id,
+                traces,
+                batch=int(feed_spec["batch"]),
+                faults=FaultSpec(*feed_spec["faults"]),
+                seed=int(feed_spec["seed"]),
+            )
+        self._engine = None
+        # A shard can land zero chips at small fleet sizes (consistent
+        # hashing balances, it does not guarantee coverage); it then
+        # just answers RESULT with empty state.
+        if scoring == "batched" and self.order:
+            self._engine = BatchedFleetMonitor(
+                [self.sessions[c] for c in self.order],
+                metrics=self.metrics,
+            )
+
+    def _ingest(self, arrivals: list[tuple[str, int]]) -> None:
+        """Score a list of ``(chip, batch_index)`` in the given order."""
+        pairs = [
+            (self.sessions[chip], self.feeds[chip].batch_at(int(index)))
+            for chip, index in arrivals
+        ]
+        if self._engine is not None:
+            self._engine.ingest_tick(pairs)
+        else:
+            for session, batch in pairs:
+                session.ingest(batch)
+
+    def _batch(self, header: dict) -> None:
+        # One block-policy drain: the front-end's production loop hit
+        # a full per-chip queue and (policy "block") drained the oldest
+        # batch through the engine — phase 0 of the tick.
+        with self.journal.annotate(tick=int(header["tick"]), phase=0):
+            self._ingest([(header["chip"], header["batch"])])
+
+    def _tick(self, header: dict) -> None:
+        # One consumption sweep — phase 1.  Arrivals come pre-ordered
+        # by global chip order; at most one batch per chip.
+        with self.journal.annotate(tick=int(header["tick"]), phase=1):
+            self._ingest(
+                [(chip, index) for chip, index in header["arrivals"]]
+            )
+
+    def _result(self) -> tuple[int, dict, bytes]:
+        if self._error is not None:
+            return (ERROR, {"error": self._error}, b"")
+        if self._engine is not None:
+            self._engine.sync_to_sessions()
+        header = {
+            "shard": self.shard_id,
+            "sessions": {
+                chip_id: self.sessions[chip_id].state_dict()
+                for chip_id in self.order
+            },
+            "journal": [
+                [tag, event] for tag, event in self.journal.tagged()
+            ],
+            "metrics": self.metrics.state_dict(),
+        }
+        return (STATE, header, b"")
+
+
+# -- the worker process ------------------------------------------------
+
+def shard_worker_main(address: str, shard_id: int) -> None:
+    """Child-process entry point: serve one shard over a unix socket."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        sock.connect(address)
+        send_frame(sock, HELLO, {"shard": shard_id})
+        engine = ShardEngine(shard_id)
+        while True:
+            kind, header, payload = recv_frame(sock)
+            if kind == SHUTDOWN:
+                break
+            response = engine.handle(kind, header, payload)
+            if response is not None:
+                send_frame(sock, *response)
+    finally:
+        sock.close()

@@ -1,0 +1,234 @@
+"""Length-prefixed framed wire protocol for the sharded fleet service.
+
+The ingest front-end (:mod:`repro.fleet.ingest`) and the shard workers
+(:mod:`repro.fleet.shard`) speak a deliberately small binary framing:
+
+.. code-block:: text
+
+    +----------------+--------+-------------------+-----------+---------+
+    | u32 body_len   | u8 kind| u32 header_len    | header    | payload |
+    | (big-endian)   |        | (big-endian)      | (JSON)    | (bytes) |
+    +----------------+--------+-------------------+-----------+---------+
+
+``body_len`` counts everything after the length prefix; ``header`` is
+a UTF-8 JSON object; ``payload`` is whatever bytes remain (currently
+always empty — trace batches cross processes as
+:class:`~repro.io.store.StreamStoreRef` *references* inside the
+header, never as payload bytes, which is the zero-copy hand-off).
+
+The same encoding travels over every transport: blocking sockets in
+the shard workers (:func:`send_frame` / :func:`recv_frame`), asyncio
+streams in the front-end (:func:`write_frame` / :func:`read_frame`),
+and plain byte strings in the ``inline`` transport (the frames are
+still encoded and decoded, so the codec is exercised even without
+processes).  :class:`FrameDecoder` is the incremental flip side for
+byte-stream consumers that receive partial frames.
+
+Frame kinds
+-----------
+``HELLO``     shard → front-end, once after connect (``{"shard": i}``).
+``INIT``      front-end → shard: evaluator state, session states, feed
+              specs with stream-store refs, scoring mode.
+``BATCH``     front-end → shard: one block-policy drain —
+              ``{"tick", "chip", "batch"}`` (production phase).
+``TICK``      front-end → shard: one consumption sweep —
+              ``{"tick", "arrivals": [[chip, batch_index], ...]}``.
+``RESULT``    front-end → shard: request final state.
+``STATE``     shard → front-end: session states + tagged journal
+              events + metrics state (the response to ``RESULT``).
+``SHUTDOWN``  front-end → shard: exit cleanly.
+``ERROR``     shard → front-end: ``{"error": traceback}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+from repro.errors import ExperimentError
+
+#: Frame kinds (the ``u8`` on the wire).
+HELLO = 1
+INIT = 2
+BATCH = 3
+TICK = 4
+RESULT = 5
+STATE = 6
+SHUTDOWN = 7
+ERROR = 8
+
+KINDS = (HELLO, INIT, BATCH, TICK, RESULT, STATE, SHUTDOWN, ERROR)
+
+#: Hard ceiling on one frame's body — a corrupt length prefix must not
+#: make a reader allocate gigabytes.  Headers carry refs and state
+#: dicts, not trace matrices, so real frames sit far below this.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+_HEAD = struct.Struct(">BI")
+
+
+def encode_frame(kind: int, header: dict, payload: bytes = b"") -> bytes:
+    """Serialise one frame (length prefix included)."""
+    if kind not in KINDS:
+        raise ExperimentError(f"unknown frame kind {kind!r}")
+    raw_header = json.dumps(header, sort_keys=True).encode("utf-8")
+    body_len = _HEAD.size + len(raw_header) + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ExperimentError(
+            f"frame body of {body_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return b"".join(
+        (
+            _LEN.pack(body_len),
+            _HEAD.pack(kind, len(raw_header)),
+            raw_header,
+            payload,
+        )
+    )
+
+
+def decode_body(body: bytes) -> tuple[int, dict, bytes]:
+    """Decode one frame body (everything after the length prefix)."""
+    if len(body) < _HEAD.size:
+        raise ExperimentError(
+            f"truncated frame body ({len(body)} bytes)"
+        )
+    kind, header_len = _HEAD.unpack_from(body)
+    if kind not in KINDS:
+        raise ExperimentError(f"unknown frame kind {kind!r} on the wire")
+    end = _HEAD.size + header_len
+    if end > len(body):
+        raise ExperimentError(
+            f"frame header of {header_len} bytes overruns the "
+            f"{len(body)}-byte body"
+        )
+    header = json.loads(body[_HEAD.size:end].decode("utf-8"))
+    if not isinstance(header, dict):
+        raise ExperimentError("frame header must be a JSON object")
+    return kind, header, body[end:]
+
+
+def decode_frame(data: bytes) -> tuple[int, dict, bytes]:
+    """Decode one complete frame from *data* (prefix + body, exact)."""
+    if len(data) < _LEN.size:
+        raise ExperimentError(f"truncated frame ({len(data)} bytes)")
+    (body_len,) = _LEN.unpack_from(data)
+    if body_len > MAX_FRAME_BYTES:
+        raise ExperimentError(
+            f"frame length {body_len} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    if len(data) != _LEN.size + body_len:
+        raise ExperimentError(
+            f"frame length {body_len} does not match the "
+            f"{len(data) - _LEN.size} bytes provided"
+        )
+    return decode_body(data[_LEN.size:])
+
+
+class FrameDecoder:
+    """Incremental decoder over an untrusted byte stream.
+
+    Feed arbitrary chunks; complete frames come out as they finish.
+    Partial frames are buffered, oversize length prefixes are rejected
+    before any allocation of the claimed size.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, dict, bytes]]:
+        """Absorb *data*; return every frame completed by it."""
+        self._buf.extend(data)
+        frames = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                break
+            (body_len,) = _LEN.unpack_from(self._buf)
+            if body_len > MAX_FRAME_BYTES:
+                raise ExperimentError(
+                    f"frame length {body_len} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame limit"
+                )
+            if len(self._buf) < _LEN.size + body_len:
+                break
+            body = bytes(self._buf[_LEN.size:_LEN.size + body_len])
+            del self._buf[:_LEN.size + body_len]
+            frames.append(decode_body(body))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buf)
+
+
+# -- blocking-socket transport (shard workers) -------------------------
+
+def send_frame(
+    sock: socket.socket, kind: int, header: dict, payload: bytes = b""
+) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(kind, header, payload))
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ExperimentError(
+                "shard link closed mid-frame (peer died?)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, dict, bytes]:
+    """Read one complete frame from a blocking socket."""
+    (body_len,) = _LEN.unpack(_recv_exactly(sock, _LEN.size))
+    if body_len > MAX_FRAME_BYTES:
+        raise ExperimentError(
+            f"frame length {body_len} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return decode_body(_recv_exactly(sock, body_len))
+
+
+# -- asyncio transport (ingest front-end) ------------------------------
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    kind: int,
+    header: dict,
+    payload: bytes = b"",
+) -> None:
+    """Write one frame to an asyncio stream and drain it."""
+    writer.write(encode_frame(kind, header, payload))
+    await writer.drain()
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict, bytes]:
+    """Read one complete frame from an asyncio stream."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+        (body_len,) = _LEN.unpack(prefix)
+        if body_len > MAX_FRAME_BYTES:
+            raise ExperimentError(
+                f"frame length {body_len} exceeds the "
+                f"{MAX_FRAME_BYTES}-byte frame limit"
+            )
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ExperimentError(
+            "shard link closed mid-frame (peer died?)"
+        ) from exc
+    return decode_body(body)

@@ -33,6 +33,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
@@ -282,6 +283,109 @@ def load_traces(
     if verify and bundle.digest() != bundle.stored_digest:
         raise MeasurementError(f"{target}: trace digest mismatch (corrupt file)")
     return bundle
+
+
+@dataclass(frozen=True)
+class StreamStoreRef:
+    """Wire-portable handle to a memmapped per-chip trace stream.
+
+    The sharded fleet service hands trace batches to shard workers by
+    *reference*: the front-end saves each chip's full trace matrix once
+    through :func:`save_stream_store`, and ingest frames then carry
+    this ref (a path plus the expected shape/dtype) instead of payload
+    bytes.  A shard opens the ref with :func:`open_stream_store` as a
+    read-only memory map, so every process shares the same page-cache
+    copy of the traces — zero serialisation, zero duplication.
+
+    The shape/dtype fields double as an integrity contract: a ref only
+    opens if the file on disk still matches what the producer wrote.
+    """
+
+    path: str
+    rows: int
+    samples: int
+    dtype: str
+
+    def as_dict(self) -> dict:
+        """JSON-encodable form (what actually crosses the wire)."""
+        return {
+            "path": self.path,
+            "rows": self.rows,
+            "samples": self.samples,
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StreamStoreRef":
+        return cls(
+            path=str(data["path"]),
+            rows=int(data["rows"]),
+            samples=int(data["samples"]),
+            dtype=str(data["dtype"]),
+        )
+
+
+def save_stream_store(
+    traces: np.ndarray,
+    path: str | Path,
+    *,
+    chip_id: str,
+    fs: float = 0.0,
+    receiver: str = "stream",
+) -> StreamStoreRef:
+    """Persist a chip's stream traces for shared-memmap hand-off.
+
+    Wraps the matrix in a v2 :class:`TraceBundle` (raw ``.npy`` +
+    sidecar, atomic writes) and returns the :class:`StreamStoreRef`
+    a fleet ingest frame would carry.  ``chip_id`` lands in the
+    manifest's ``scenario`` field so the sidecar stays self-describing.
+    """
+    if traces.ndim != 2:
+        raise MeasurementError(
+            f"stream traces must be 2-D, got shape {traces.shape}"
+        )
+    bundle = TraceBundle(
+        traces=np.ascontiguousarray(traces),
+        receiver=receiver,
+        fs=float(fs),
+        chip_seed=0,
+        scenario=chip_id,
+        extras={"stream_chip": chip_id},
+    )
+    written = save_traces(bundle, path, fmt="v2")
+    return StreamStoreRef(
+        path=str(written),
+        rows=int(traces.shape[0]),
+        samples=int(traces.shape[1]),
+        dtype=str(np.ascontiguousarray(traces).dtype),
+    )
+
+
+def open_stream_store(ref: StreamStoreRef | Mapping) -> np.ndarray:
+    """Open a :class:`StreamStoreRef` as a read-only memmapped matrix.
+
+    Raises
+    ------
+    MeasurementError
+        If the payload is missing or its shape/dtype disagrees with
+        the ref — a shard must never silently score the wrong traces.
+    """
+    if not isinstance(ref, StreamStoreRef):
+        ref = StreamStoreRef.from_dict(ref)
+    bundle = load_traces(ref.path, mmap=True)
+    traces = bundle.traces
+    expected = (ref.rows, ref.samples)
+    if tuple(traces.shape) != expected:
+        raise MeasurementError(
+            f"{ref.path}: stream store shape {tuple(traces.shape)} does not "
+            f"match ref {expected}"
+        )
+    if str(traces.dtype) != ref.dtype:
+        raise MeasurementError(
+            f"{ref.path}: stream store dtype {traces.dtype} does not match "
+            f"ref {ref.dtype}"
+        )
+    return traces
 
 
 def save_json_report(report: dict, path: str | Path) -> None:

@@ -110,6 +110,31 @@ class Histogram:
                 return 0.0
             return float(np.percentile(self._values, q))
 
+    def samples(self) -> list[float]:
+        """Copy of every observed sample (full fidelity, not a summary)."""
+        with self._lock:
+            return list(self._values)
+
+    def merge(self, other: "Histogram | list[float]") -> "Histogram":
+        """Fold another histogram's samples into this one, exactly.
+
+        Histograms store their raw samples, so the merge is a plain
+        concatenation and every percentile of the merged histogram is
+        **exact**: ``merged.percentile(q)`` equals ``np.percentile``
+        over the concatenated sample list, with no bucket-boundary
+        approximation.  This is what lets per-shard fleet registries
+        roll up into correct fleet-wide p50/p95/p99 — quantiles are
+        not averaged across shards (averaging per-shard percentiles is
+        wrong for any skewed distribution), the samples themselves are
+        pooled.
+        """
+        incoming = other.samples() if isinstance(other, Histogram) else [
+            float(v) for v in other
+        ]
+        with self._lock:
+            self._values.extend(incoming)
+        return self
+
     def summary(self) -> dict:
         """JSON-encodable summary: count, sum, mean, p50/p95/p99, max."""
         with self._lock:
@@ -159,6 +184,44 @@ class MetricsRegistry:
             yield hist
         finally:
             hist.observe(time.perf_counter() - start)
+
+    def state_dict(self) -> dict:
+        """Full-fidelity registry state (counters, gauges, samples).
+
+        Unlike :meth:`snapshot`, histograms are dumped as their raw
+        sample lists, so the state can cross a process boundary (the
+        fleet shard workers ship theirs back over the wire) and be
+        folded into another registry with :meth:`merge_state` without
+        losing percentile exactness.  JSON-encodable.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {
+                n: h.samples() for n, h in sorted(histograms.items())
+            },
+        }
+
+    def merge_state(self, state: dict) -> "MetricsRegistry":
+        """Fold a :meth:`state_dict` into this registry.
+
+        Counters add, gauges keep the running maximum (every gauge in
+        the runtime is a high-water mark), histograms pool their raw
+        samples via :meth:`Histogram.merge` — so merged percentiles
+        are exact on the union of the samples.  Instruments missing on
+        either side are created / left untouched.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).max(float(value))
+        for name, samples in state.get("histograms", {}).items():
+            self.histogram(name).merge(samples)
+        return self
 
     def snapshot(self) -> dict:
         """All instruments as one JSON-encodable dictionary."""

@@ -75,6 +75,58 @@ def test_snapshot_is_json_encodable_and_formats():
     assert m.format() == text
 
 
+def test_histogram_merge_matches_concatenated_reference():
+    # The sharded fleet merges per-shard histograms back into one;
+    # quantiles after the merge must be exact over the union of raw
+    # samples, not an approximation over per-shard summaries.
+    rng = np.random.default_rng(7)
+    a_samples = [float(x) for x in rng.normal(10.0, 3.0, size=137)]
+    b_samples = [float(x) for x in rng.normal(50.0, 1.0, size=61)]
+    m = MetricsRegistry()
+    a = m.histogram("lat.a")
+    for s in a_samples:
+        a.observe(s)
+    b = MetricsRegistry().histogram("lat.b")
+    for s in b_samples:
+        b.observe(s)
+    a.merge(b)
+    combined = a_samples + b_samples
+    summary = a.summary()
+    assert summary["count"] == len(combined)
+    assert summary["sum"] == pytest.approx(sum(combined))
+    for q in (50, 95, 99):
+        assert summary[f"p{q}"] == float(np.percentile(combined, q))
+    # Raw sample lists merge too (the wire-format form).
+    c = MetricsRegistry().histogram("lat.c")
+    c.merge(a_samples)
+    c.merge(b_samples)
+    assert c.summary() == summary
+    # Merging empties is a no-op.
+    c.merge([])
+    c.merge(MetricsRegistry().histogram("empty"))
+    assert c.summary() == summary
+
+
+def test_registry_state_dict_merge_round_trip():
+    src = MetricsRegistry()
+    src.counter("windows").inc(7)
+    src.gauge("depth").max(3.5)
+    src.histogram("lat").observe(0.25)
+    src.histogram("lat").observe(0.75)
+    state = json.loads(json.dumps(src.state_dict()))  # wire-clean
+
+    dst = MetricsRegistry()
+    dst.counter("windows").inc(2)
+    dst.gauge("depth").max(5.0)
+    dst.histogram("lat").observe(0.5)
+    dst.merge_state(state)
+    snap = dst.snapshot()
+    assert snap["counters"]["windows"] == 9
+    assert snap["gauges"]["depth"] == 5.0  # gauges merge by max
+    assert dst.histogram("lat").summary()["count"] == 3
+    assert dst.histogram("lat").summary()["max"] == 0.75
+
+
 def test_counter_is_thread_safe():
     m = MetricsRegistry()
     c = m.counter("n")
@@ -136,3 +188,39 @@ def test_in_memory_journal_flush_is_noop():
     j = EventJournal()
     j.record("alarm", chip="a")
     assert j.flush() is None
+
+
+def test_journal_annotate_tags_stay_out_of_events(tmp_path):
+    # The sharded merge orders events by (tick, phase) tags; the tags
+    # are pure bookkeeping and must never leak into journal bytes.
+    j = EventJournal(tmp_path / "events.jsonl")
+    j.record("campaign")
+    with j.annotate(tick=3, phase=1):
+        event = j.record("alarm", chip="a")
+        with j.annotate(tick=4, phase=0):
+            j.record("drop", chip="b", seqs=[1])
+        # The outer annotation is restored after the inner block.
+        j.record("alarm", chip="c")
+    j.record("checkpoint")
+    assert set(event) == {"kind", "chip"}
+    tags = [tag for tag, _ in j.tagged()]
+    assert tags == [
+        None,
+        {"tick": 3, "phase": 1},
+        {"tick": 4, "phase": 0},
+        {"tick": 3, "phase": 1},
+        None,
+    ]
+    j.flush()
+    assert EventJournal.load(j.path) == j.events
+
+
+def test_journal_rewrite_replaces_events_and_clears_tags():
+    j = EventJournal()
+    with j.annotate(tick=0, phase=0):
+        j.record("drop", chip="a", seqs=[0])
+    merged = [{"kind": "drop", "chip": "a", "seqs": [0]},
+              {"kind": "alarm", "chip": "a", "seq": 1}]
+    j.rewrite(merged)
+    assert j.events == merged
+    assert [tag for tag, _ in j.tagged()] == [None, None]

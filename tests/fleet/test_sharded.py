@@ -1,0 +1,349 @@
+"""The sharded fleet service must be bit-identical to the serial path.
+
+The :class:`~repro.fleet.ingest.ShardedFleetScheduler` front-end fans
+the fleet out over shard workers (forked processes over unix sockets,
+or in-process engines under the ``inline`` transport — the frames are
+encoded either way).  These tests drive both topologies over the same
+fleets — link faults, backpressure drops, checkpoint/resume across
+topologies — and require the exact same alarm stream, accounting
+counters and journal content as one single-process scheduler.
+
+Identity scope: journal events, per-chip reports, and every counter
+except the ``shard.*`` infrastructure ones; timing histograms
+(``stage.*``) are excluded by construction (per-shard sample counts
+differ), as are the ``fleet.shards``/``shard.*`` gauges.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import ReproConfig, use_config
+from repro.errors import ExperimentError
+from repro.fleet import (
+    EventJournal,
+    FaultSpec,
+    FleetScheduler,
+    HashRing,
+    MetricsRegistry,
+    MonitorSession,
+    ShardedFleetScheduler,
+    TraceFeed,
+    shard_assignments,
+)
+from repro.fleet.shard import ShardEngine, evaluator_to_wire
+from repro.fleet.wire import BATCH, ERROR, INIT, RESULT, STATE
+
+FAULTS = FaultSpec(drop=0.05, duplicate=0.05, reorder=0.1)
+
+VARIANTS = (
+    ("golden", 0.0),
+    ("t1", 0.5),
+    ("t2", 0.35),
+    ("t3", 0.25),
+    ("t4", 0.02),
+    ("a2", 0.6),
+)
+
+
+@pytest.fixture()
+def fleet_streams(synthetic, fleet_rng):
+    """Six labelled streams over the shared synthetic golden base."""
+    _, base = synthetic
+    shape = np.cos(np.linspace(0, 9, base.size))
+    return {
+        name: (base + amp * shape)[None, :]
+        + 0.05 * fleet_rng.normal(size=(96, base.size))
+        for name, amp in VARIANTS
+    }
+
+
+def _build(cls, synthetic, streams, *, policy="block", queue_depth=4,
+           consume_every=1, faults=FAULTS, scoring="batched", **kw):
+    ev, _ = synthetic
+    metrics = MetricsRegistry()
+    journal = EventJournal()
+    sessions = [
+        MonitorSession(c, ev, window=16, confirm=2,
+                       metrics=metrics, journal=journal)
+        for c in streams
+    ]
+    feeds = [
+        TraceFeed(c, streams[c], batch=8, faults=faults, seed=11)
+        for c in streams
+    ]
+    if cls is FleetScheduler:
+        kw.setdefault("workers", 1)
+    scheduler = cls(
+        sessions, queue_depth=queue_depth, policy=policy,
+        consume_every=consume_every, scoring=scoring,
+        journal=journal, metrics=metrics, **kw,
+    )
+    return scheduler, feeds, journal, metrics
+
+
+def _clean_counters(metrics):
+    return {
+        k: v for k, v in metrics.snapshot()["counters"].items()
+        if not k.startswith("shard.") and not k.startswith("stage.")
+    }
+
+
+def _assert_identical(r_a, r_b, chips):
+    for chip in chips:
+        a, b = r_a.reports[chip], r_b.reports[chip]
+        assert a.alarms == b.alarms, chip
+        assert a.windows_ingested == b.windows_ingested, chip
+        assert a.gaps == b.gaps and a.out_of_order == b.out_of_order, chip
+        assert a.queue_dropped_windows == b.queue_dropped_windows, chip
+
+
+# -- placement ---------------------------------------------------------
+
+def test_hash_ring_is_deterministic_and_covers_all_shards():
+    chips = [f"chip-{i}" for i in range(64)]
+    a = shard_assignments(chips, 4)
+    b = shard_assignments(chips, 4)
+    assert a == b  # pure function of (chip_ids, n_shards)
+    assert set(a) == set(chips)
+    assert set(a.values()) == {0, 1, 2, 3}
+
+
+def test_hash_ring_stability_under_shard_growth():
+    # Consistent hashing: growing 4 -> 5 shards must only move a
+    # minority of chips (a modulo mapping would move ~4/5 of them).
+    chips = [f"chip-{i}" for i in range(256)]
+    before = shard_assignments(chips, 4)
+    after = shard_assignments(chips, 5)
+    moved = sum(1 for c in chips if before[c] != after[c])
+    assert 0 < moved < len(chips) / 2
+
+
+def test_hash_ring_rejects_bad_parameters():
+    with pytest.raises(ExperimentError, match=">= 1"):
+        HashRing(0)
+    with pytest.raises(ExperimentError, match="virtual node"):
+        HashRing(2, virtual_nodes=0)
+
+
+# -- bit-identity against the serial scheduler -------------------------
+
+@pytest.mark.parametrize("transport", ["inline", "socket"])
+def test_sharded_matches_serial_with_link_faults(
+    synthetic, fleet_streams, transport
+):
+    ref, feeds_r, j_ref, m_ref = _build(
+        FleetScheduler, synthetic, fleet_streams
+    )
+    r_ref = ref.run(feeds_r)
+    sharded, feeds_s, j_sh, m_sh = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        shards=2, transport=transport,
+    )
+    r_sh = sharded.run(feeds_s)
+    _assert_identical(r_ref, r_sh, fleet_streams)
+    assert j_ref.events == j_sh.events
+    assert any(e["kind"] == "alarm" for e in j_sh.events)
+    assert _clean_counters(m_ref) == _clean_counters(m_sh)
+    # The shard infrastructure still reports itself.
+    gauges = m_sh.snapshot()["gauges"]
+    assert gauges["fleet.shards"] == 2
+
+
+def test_sharded_matches_serial_under_drop_oldest(
+    synthetic, fleet_streams
+):
+    kw = dict(policy="drop_oldest", queue_depth=2, consume_every=3,
+              faults=None)
+    ref, feeds_r, j_ref, m_ref = _build(
+        FleetScheduler, synthetic, fleet_streams, **kw
+    )
+    r_ref = ref.run(feeds_r)
+    sharded, feeds_s, j_sh, m_sh = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        shards=3, transport="inline", **kw,
+    )
+    r_sh = sharded.run(feeds_s)
+    _assert_identical(r_ref, r_sh, fleet_streams)
+    assert r_sh.reports["golden"].queue_dropped_windows > 0
+    assert j_ref.events == j_sh.events
+    assert _clean_counters(m_ref) == _clean_counters(m_sh)
+
+
+def test_sharded_sequential_scoring_matches_serial(
+    synthetic, fleet_streams
+):
+    ref, feeds_r, j_ref, _ = _build(
+        FleetScheduler, synthetic, fleet_streams, scoring="sequential"
+    )
+    r_ref = ref.run(feeds_r)
+    sharded, feeds_s, j_sh, _ = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        scoring="sequential", shards=2, transport="inline",
+    )
+    r_sh = sharded.run(feeds_s)
+    _assert_identical(r_ref, r_sh, fleet_streams)
+    assert j_ref.events == j_sh.events
+
+
+def test_more_shards_than_chips_degrades_to_chip_count(
+    synthetic, fleet_streams
+):
+    # Never more shards than chips; the clamp keeps empty workers
+    # from being forked at all.
+    sharded, feeds, _, metrics = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        shards=64, transport="inline",
+    )
+    assert sharded.effective_shards() == len(fleet_streams)
+    result = sharded.run(feeds)
+    assert result.complete
+    assert metrics.snapshot()["gauges"]["fleet.shards"] == len(fleet_streams)
+
+
+# -- checkpoint interconversion across topologies ----------------------
+
+def test_checkpoint_sharded_resumes_single_process_sequential(
+    synthetic, fleet_streams
+):
+    """A 4-shard batched checkpoint resumes serial sequential."""
+    ev, _ = synthetic
+    ref, feeds_r, _, _ = _build(FleetScheduler, synthetic, fleet_streams)
+    r_ref = ref.run(feeds_r)
+
+    part, feeds_p, _, _ = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        shards=4, transport="socket",
+    )
+    r_part = part.run(feeds_p, max_ticks=5)
+    assert not r_part.complete
+    state = json.loads(json.dumps(part.state_dict()))
+
+    j_serial, j_sharded = EventJournal(), EventJournal()
+    serial = FleetScheduler.from_state(
+        state, ev, journal=j_serial, metrics=MetricsRegistry()
+    )
+    serial.scoring = "sequential"
+    r_serial = serial.run(
+        [TraceFeed(c, fleet_streams[c], batch=8, faults=FAULTS, seed=11)
+         for c in fleet_streams]
+    )
+    assert r_serial.complete
+    _assert_identical(r_ref, r_serial, fleet_streams)
+
+    # The same checkpoint resumed sharded produces the identical
+    # remaining journal tail, event for event.
+    resharded = ShardedFleetScheduler.from_state(
+        state, ev, journal=j_sharded, metrics=MetricsRegistry(),
+        shards=2, transport="inline",
+    )
+    r_resharded = resharded.run(
+        [TraceFeed(c, fleet_streams[c], batch=8, faults=FAULTS, seed=11)
+         for c in fleet_streams]
+    )
+    assert r_resharded.complete
+    _assert_identical(r_serial, r_resharded, fleet_streams)
+    assert j_serial.events == j_sharded.events
+
+
+def test_checkpoint_serial_resumes_sharded(synthetic, fleet_streams):
+    """The reverse direction: serial checkpoint, 4-shard resume."""
+    ev, _ = synthetic
+    ref, feeds_r, _, _ = _build(FleetScheduler, synthetic, fleet_streams)
+    r_ref = ref.run(feeds_r)
+
+    part, feeds_p, _, _ = _build(
+        FleetScheduler, synthetic, fleet_streams, scoring="sequential"
+    )
+    r_part = part.run(feeds_p, max_ticks=5)
+    assert not r_part.complete
+    state = json.loads(json.dumps(part.state_dict()))
+
+    resumed = ShardedFleetScheduler.from_state(
+        state, ev, journal=EventJournal(), metrics=MetricsRegistry(),
+        shards=4, transport="inline",
+    )
+    r_resumed = resumed.run(
+        [TraceFeed(c, fleet_streams[c], batch=8, faults=FAULTS, seed=11)
+         for c in fleet_streams]
+    )
+    assert r_resumed.complete
+    _assert_identical(r_ref, r_resumed, fleet_streams)
+
+
+def test_sharded_checkpoint_event_matches_serial(
+    synthetic, fleet_streams
+):
+    kw = dict(faults=None)
+    ref, feeds_r, j_ref, _ = _build(
+        FleetScheduler, synthetic, fleet_streams, **kw
+    )
+    ref.run(feeds_r, max_ticks=4)
+    sharded, feeds_s, j_sh, _ = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        shards=2, transport="inline", **kw,
+    )
+    sharded.run(feeds_s, max_ticks=4)
+    assert j_ref.events == j_sh.events
+    assert j_sh.events[-1]["kind"] == "checkpoint"
+
+
+# -- knob resolution ---------------------------------------------------
+
+def test_shard_knob_resolution(synthetic):
+    ev, _ = synthetic
+    session = MonitorSession("golden", ev, window=16)
+    with pytest.raises(ExperimentError, match=">= 1"):
+        ShardedFleetScheduler([session], shards=0)
+    with pytest.raises(ExperimentError, match="transport"):
+        ShardedFleetScheduler([session], transport="pigeon")
+    with use_config(ReproConfig(fleet_shards=4, fleet_transport="inline")):
+        sched = ShardedFleetScheduler([session, MonitorSession(
+            "t1", ev, window=16)])
+        assert sched.effective_shards() == 2  # clamped to chips
+        assert sched.effective_transport() == "inline"
+        assert ShardedFleetScheduler(
+            [session], shards=1
+        ).effective_shards() == 1
+    # auto transport: sockets only when actually sharded.
+    assert ShardedFleetScheduler(
+        [session], shards=1, transport="auto"
+    ).effective_transport() == "inline"
+    assert ShardedFleetScheduler(
+        [session, MonitorSession("t1", ev, window=16)],
+        shards=2, transport="auto",
+    ).effective_transport() == "socket"
+
+
+# -- failure surfacing -------------------------------------------------
+
+def test_shard_engine_latches_errors_until_result(synthetic):
+    ev, _ = synthetic
+    engine = ShardEngine(0)
+    assert engine.handle(INIT, {
+        "shard": 0, "scoring": "sequential",
+        "evaluator": evaluator_to_wire(ev), "chips": [],
+    }) is None
+    # An unknown chip id fails the BATCH frame; the failure must latch
+    # into an ERROR response at RESULT, not kill the handler.
+    assert engine.handle(BATCH, {
+        "tick": 0, "chip": "nope", "batch": 0,
+    }) is None
+    kind, header, _ = engine.handle(RESULT, {})
+    assert kind == ERROR
+    assert "nope" in header["error"]
+
+
+def test_socket_run_persists_stream_stores_where_directed(
+    synthetic, fleet_streams, tmp_path
+):
+    sharded, feeds, _, _ = _build(
+        ShardedFleetScheduler, synthetic, fleet_streams,
+        shards=2, transport="socket",
+    )
+    result = sharded.run(feeds, store_dir=tmp_path / "stores")
+    assert result.complete
+    names = {p.name for p in (tmp_path / "stores").iterdir()}
+    for chip in fleet_streams:
+        assert any(chip in name for name in names), (chip, names)

@@ -1,0 +1,115 @@
+"""Tests for the sharded fleet's framed wire protocol."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.fleet.wire import (
+    BATCH,
+    ERROR,
+    FrameDecoder,
+    HELLO,
+    INIT,
+    KINDS,
+    MAX_FRAME_BYTES,
+    SHUTDOWN,
+    decode_frame,
+    encode_frame,
+)
+
+
+def test_round_trip_every_kind():
+    header = {"tick": 3, "chip": "golden", "nested": {"a": [1, 2.5]}}
+    for kind in KINDS:
+        data = encode_frame(kind, header, b"\x00\x01payload")
+        k, h, p = decode_frame(data)
+        assert (k, h, p) == (kind, header, b"\x00\x01payload")
+
+
+def test_empty_payload_and_header():
+    k, h, p = decode_frame(encode_frame(SHUTDOWN, {}))
+    assert (k, h, p) == (SHUTDOWN, {}, b"")
+
+
+def test_header_floats_survive_exactly():
+    # The shard hand-off sends detector state as JSON floats; shortest
+    # round-trip encoding must return the identical float64.
+    value = 0.1234567890123456789
+    _, h, _ = decode_frame(encode_frame(BATCH, {"x": value}))
+    assert h["x"] == value
+
+
+def test_unknown_kind_rejected_both_ways():
+    with pytest.raises(ExperimentError, match="unknown frame kind"):
+        encode_frame(99, {})
+    data = bytearray(encode_frame(HELLO, {}))
+    data[4] = 99  # the u8 kind right after the length prefix
+    with pytest.raises(ExperimentError, match="unknown frame kind"):
+        decode_frame(bytes(data))
+
+
+def test_truncated_frames_rejected():
+    data = encode_frame(INIT, {"shard": 0})
+    with pytest.raises(ExperimentError, match="truncated frame"):
+        decode_frame(data[:2])
+    with pytest.raises(ExperimentError, match="does not match"):
+        decode_frame(data[:-1])
+    with pytest.raises(ExperimentError, match="does not match"):
+        decode_frame(data + b"x")
+
+
+def test_header_overrun_rejected():
+    # A header_len pointing past the body must not slice garbage.
+    data = bytearray(encode_frame(HELLO, {}))
+    data[5:9] = (9999).to_bytes(4, "big")
+    with pytest.raises(ExperimentError, match="overruns"):
+        decode_frame(bytes(data))
+
+
+def test_non_object_header_rejected():
+    import json
+    import struct
+
+    raw = json.dumps([1, 2]).encode()
+    body = struct.pack(">BI", HELLO, len(raw)) + raw
+    data = struct.pack(">I", len(body)) + body
+    with pytest.raises(ExperimentError, match="JSON object"):
+        decode_frame(data)
+
+
+def test_oversize_frame_rejected_before_allocation():
+    data = (MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"\x00" * 16
+    with pytest.raises(ExperimentError, match="frame limit"):
+        decode_frame(data)
+    with pytest.raises(ExperimentError, match="frame limit"):
+        FrameDecoder().feed(data)
+    with pytest.raises(ExperimentError, match="frame limit"):
+        encode_frame(HELLO, {}, b"\x00" * MAX_FRAME_BYTES)
+
+
+def test_incremental_decoder_one_byte_at_a_time():
+    frames = [
+        encode_frame(HELLO, {"shard": 1}),
+        encode_frame(BATCH, {"tick": 0, "chip": "a", "batch": 2}, b"pp"),
+        encode_frame(ERROR, {"error": "boom"}),
+    ]
+    stream = b"".join(frames)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(len(stream)):
+        out.extend(decoder.feed(stream[i:i + 1]))
+    assert [k for k, _, _ in out] == [HELLO, BATCH, ERROR]
+    assert out[1][1]["chip"] == "a" and out[1][2] == b"pp"
+    assert decoder.pending_bytes == 0
+
+
+def test_incremental_decoder_coalesced_and_partial():
+    a = encode_frame(HELLO, {"shard": 0})
+    b = encode_frame(SHUTDOWN, {})
+    decoder = FrameDecoder()
+    # Two frames plus the start of a third in one chunk.
+    got = decoder.feed(a + b + a[:3])
+    assert [k for k, _, _ in got] == [HELLO, SHUTDOWN]
+    assert decoder.pending_bytes == 3
+    got = decoder.feed(a[3:])
+    assert [k for k, _, _ in got] == [HELLO]
+    assert decoder.pending_bytes == 0

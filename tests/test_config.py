@@ -17,7 +17,11 @@ from repro.config import (
     CHUNK_ENV_VAR,
     DEFAULT_CACHE_MB,
     DEFAULT_CHUNK_BYTES,
+    DEFAULT_FLEET_INGEST_DEPTH,
+    FLEET_INGEST_DEPTH_ENV_VAR,
     FLEET_SCORING_ENV_VAR,
+    FLEET_SHARDS_ENV_VAR,
+    FLEET_TRANSPORT_ENV_VAR,
     FORCE_POOL_ENV_VAR,
     SMOKE_ENV_VAR,
     WORKERS_ENV_VAR,
@@ -47,6 +51,9 @@ class TestPrecedence:
         assert cfg.cache_mb == DEFAULT_CACHE_MB
         assert cfg.bench_smoke is False
         assert cfg.fleet_scoring == "batched"
+        assert cfg.fleet_shards == 1
+        assert cfg.fleet_ingest_depth == DEFAULT_FLEET_INGEST_DEPTH
+        assert cfg.fleet_transport == "auto"
         assert cfg.host_cpus >= 1
 
     def test_environment_beats_default(self):
@@ -59,6 +66,9 @@ class TestPrecedence:
             CACHE_MB_ENV: "64",
             SMOKE_ENV_VAR: "1",
             FLEET_SCORING_ENV_VAR: "sequential",
+            FLEET_SHARDS_ENV_VAR: "4",
+            FLEET_INGEST_DEPTH_ENV_VAR: "32",
+            FLEET_TRANSPORT_ENV_VAR: "inline",
         })
         assert cfg.workers == 3
         assert cfg.force_pool is True
@@ -68,6 +78,9 @@ class TestPrecedence:
         assert cfg.cache_mb == 64
         assert cfg.bench_smoke is True
         assert cfg.fleet_scoring == "sequential"
+        assert cfg.fleet_shards == 4
+        assert cfg.fleet_ingest_depth == 32
+        assert cfg.fleet_transport == "inline"
 
     def test_argument_beats_environment(self):
         cfg = ReproConfig.resolve(
@@ -125,6 +138,26 @@ class TestValidation:
             )
         with pytest.raises(ExperimentError, match="scoring mode"):
             ReproConfig(fleet_scoring="serial")
+
+    def test_fleet_shard_knobs(self):
+        with pytest.raises(ExperimentError, match="not an integer"):
+            ReproConfig.resolve(environ={FLEET_SHARDS_ENV_VAR: "many"})
+        with pytest.raises(ExperimentError, match=">= 1"):
+            ReproConfig(fleet_shards=0)
+        with pytest.raises(ExperimentError, match="not an integer"):
+            ReproConfig.resolve(
+                environ={FLEET_INGEST_DEPTH_ENV_VAR: "deep"}
+            )
+        with pytest.raises(ExperimentError, match=">= 1"):
+            ReproConfig(fleet_ingest_depth=0)
+        with pytest.raises(ExperimentError, match="pigeon"):
+            ReproConfig.resolve(
+                environ={FLEET_TRANSPORT_ENV_VAR: "pigeon"}
+            )
+        with pytest.raises(ExperimentError, match="transport"):
+            ReproConfig(fleet_transport="tcp")
+        with pytest.raises(ConfigError):
+            ReproConfig(fleet_shards=True)
 
     def test_non_integer_cache_mb(self):
         with pytest.raises(ExperimentError, match="not an integer"):
