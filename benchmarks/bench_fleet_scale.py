@@ -34,6 +34,7 @@ record; ``REPRO_BENCH_SMOKE=1`` selects the reduced CI sweep and floor.
 
 from __future__ import annotations
 
+import resource
 import time
 
 import numpy as np
@@ -42,11 +43,14 @@ from conftest import record_timing
 from repro.analysis.euclidean import EuclideanDetector
 from repro.config import active_config
 from repro.fleet import (
+    ArrayChunkSource,
+    ChunkPlan,
     EventJournal,
     FleetScheduler,
     MetricsRegistry,
     MonitorSession,
     ShardedFleetScheduler,
+    StreamingTraceProducer,
     TraceFeed,
 )
 from repro.framework.batched import BatchedFleetMonitor
@@ -82,7 +86,7 @@ REPS = 4
 AT_SCALE = 24
 
 
-def _fleet_inputs(n_chips: int):
+def _fleet_inputs(n_chips: int, n_windows: int = N_WINDOWS):
     """Evaluator plus *n_chips* labelled synthetic streams."""
     rng = np.random.default_rng(0xF1EE7)
     base = np.sin(np.linspace(0, 15, SAMPLES))
@@ -96,7 +100,7 @@ def _fleet_inputs(n_chips: int):
     shape = np.cos(np.linspace(0, 9, SAMPLES))
     streams = {
         f"chip{i:03d}": (base + SHIFTS[i % len(SHIFTS)] * shape)[None, :]
-        + 0.05 * rng.normal(size=(N_WINDOWS, SAMPLES))
+        + 0.05 * rng.normal(size=(n_windows, SAMPLES))
         for i in range(n_chips)
     }
     return ev, streams
@@ -332,4 +336,181 @@ def test_fleet_shard_scale(capsys):
         assert best >= SHARD_SPEEDUP_FLOOR, (
             f"4-shard speedup peaked at {best:.1f}x, below the "
             f"{SHARD_SPEEDUP_FLOOR:.1f}x floor at {at_scale} chips"
+        )
+
+
+# ---------------------------------------------------------------------
+# Streaming ingest sweep: time-to-first-verdict and peak memory.
+
+#: The ingest sweep models the *full-size* fleet campaign (384
+#: windows per chip, the ``FleetConfig`` default): streaming's payoff
+#: is the generation of everything past the first verdict, so the
+#: honest measurement needs the deployment-size window count, not the
+#: smoke one (where a verdict ~2/3 in caps the saving at ~1.5x).
+STREAM_N_WINDOWS = 384
+SMOKE_STREAM_N_WINDOWS = 96
+
+#: Windows per streamed chunk and the monitor sliding window of the
+#: ingest sweep.  The short window alarms a strongly shifted chip
+#: ~35 windows in — chunk 16 keeps the generation the verdict must
+#: wait for fine-grained (3 chunks, not half the campaign).
+STREAM_CHUNK = 16
+STREAM_WINDOW = 32
+
+#: Modelled acquisition cost per campaign window.  The synthetic
+#: streams are free to slice, so the sweep charges the generation side
+#: explicitly — the regime the streaming pipeline targets is the real
+#: campaign's, where trace acquisition dominates scoring.
+GEN_COST_PER_WINDOW_S = 0.004
+SMOKE_GEN_COST_PER_WINDOW_S = 0.001
+
+#: Minimum replay-over-stream time-to-first-verdict ratio.  Replay
+#: pays the whole campaign's generation before the first window is
+#: scored; streaming pays roughly one chunk of it, so the ratio
+#: approaches the chunk count.  Enforced only on multi-core
+#: non-smoke runs (the single-CPU degrade convention).
+TTFV_FLOOR = 5.0
+
+
+class CostlyChunkSource:
+    """Chunk source bearing an explicit per-window generation cost."""
+
+    def __init__(self, streams, cost_per_window: float) -> None:
+        self._inner = ArrayChunkSource(streams)
+        self.cost = cost_per_window
+
+    def generate(self, index, lo, hi):
+        time.sleep((hi - lo) * self.cost)
+        return self._inner.generate(index, lo, hi)
+
+
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak RSS in MiB (monotone across the sweep)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _stream_build(ev, streams):
+    metrics = MetricsRegistry()
+    journal = EventJournal()
+    sessions = [
+        MonitorSession(c, ev, window=STREAM_WINDOW, confirm=CONFIRM,
+                       metrics=metrics, journal=journal)
+        for c in streams
+    ]
+    scheduler = FleetScheduler(
+        sessions, scoring="batched", journal=journal, metrics=metrics
+    )
+    return scheduler, metrics
+
+
+def test_fleet_stream_ttfv(capsys):
+    """Stream vs replay: identical alarms, far earlier first verdict."""
+    smoke = active_config().bench_smoke
+    host_cpus = active_config().host_cpus
+    n_chips = 6 if smoke else 24
+    cost = SMOKE_GEN_COST_PER_WINDOW_S if smoke else GEN_COST_PER_WINDOW_S
+    n_windows = SMOKE_STREAM_N_WINDOWS if smoke else STREAM_N_WINDOWS
+    ev, streams = _fleet_inputs(n_chips, n_windows=n_windows)
+    plan = ChunkPlan(n_windows=n_windows, chunk=STREAM_CHUNK)
+
+    # Replay: the whole campaign is generated (chunk by chunk, same
+    # cost model) before the scheduler sees a single window, so its
+    # first verdict waits behind all of it.
+    source = CostlyChunkSource(streams, cost)
+    t0 = time.perf_counter()
+    parts: dict[str, list] = {c: [] for c in streams}
+    for k in range(plan.n_chunks):
+        data = source.generate(k, *plan.bounds(k))
+        for c in streams:
+            parts[c].append(data[c])
+    matrices = {c: np.concatenate(parts[c]) for c in streams}
+    gen_s = time.perf_counter() - t0
+    scheduler, metrics = _stream_build(ev, streams)
+    t0 = time.perf_counter()
+    r_replay = scheduler.run(
+        [TraceFeed(c, matrices[c], batch=BATCH, seed=11) for c in streams]
+    )
+    replay_wall = gen_s + time.perf_counter() - t0
+    replay_ttfv = (
+        gen_s + metrics.snapshot()["gauges"]["fleet.ttfv.seconds"]
+    )
+    replay_rss = _peak_rss_mb()
+
+    # Stream: generation overlaps scoring; the first verdict only
+    # waits for the chunks it actually needs.
+    scheduler, metrics = _stream_build(ev, streams)
+    producer = StreamingTraceProducer(
+        CostlyChunkSource(streams, cost),
+        list(streams),
+        n_windows=n_windows,
+        chunk=STREAM_CHUNK,
+        metrics=metrics,
+    ).start()
+    try:
+        t0 = time.perf_counter()
+        r_stream = scheduler.run(
+            [
+                TraceFeed(c, producer.source_for(c), batch=BATCH, seed=11)
+                for c in streams
+            ]
+        )
+        producer.join()
+        stream_wall = time.perf_counter() - t0
+    finally:
+        producer.close()
+    gauges = metrics.snapshot()["gauges"]
+    stream_ttfv = gauges["fleet.ttfv.seconds"]
+    buffered_hw = gauges["producer.buffered_windows"]
+    stream_rss = _peak_rss_mb()
+
+    # The earlier verdict is only admissible with identical answers.
+    for chip in streams:
+        assert (
+            r_stream.reports[chip].alarms == r_replay.reports[chip].alarms
+        ), f"{chip}: ingest modes diverged"
+    # Bounded look-ahead: the producer never buffered more than the
+    # prefetch window, a fraction of the campaign replay holds whole.
+    assert buffered_hw <= 3 * STREAM_CHUNK
+
+    ratio = replay_ttfv / stream_ttfv
+    for mode, ttfv, wall, rss in (
+        ("replay", replay_ttfv, replay_wall, replay_rss),
+        ("stream", stream_ttfv, stream_wall, stream_rss),
+    ):
+        record_timing(
+            f"fleet_stream_ttfv[{n_chips}chips {mode}]",
+            wall,
+            chips=n_chips,
+            ingest=mode,
+            windows=n_windows,
+            chunk=STREAM_CHUNK,
+            gen_cost_per_window_s=cost,
+            ttfv_s=ttfv,
+            peak_rss_mb=rss,
+            buffered_windows_high_water=(
+                None if mode == "replay" else int(buffered_hw)
+            ),
+            ttfv_speedup_vs_replay=(
+                None if mode == "replay" else ratio
+            ),
+            host_cpus=host_cpus,
+        )
+
+    with capsys.disabled():
+        print("\n=== fleet ingest: stream vs replay ===")
+        print(f"  {'mode':>7} {'ttfv':>9} {'wall':>9} {'peak rss':>10}")
+        print(f"  {'replay':>7} {replay_ttfv:>8.3f}s {replay_wall:>8.3f}s "
+              f"{replay_rss:>8.1f}MB")
+        print(f"  {'stream':>7} {stream_ttfv:>8.3f}s {stream_wall:>8.3f}s "
+              f"{stream_rss:>8.1f}MB")
+        print(f"  first verdict {ratio:.1f}x earlier streamed; producer "
+              f"high-water {int(buffered_hw)}/{n_windows} windows")
+        if host_cpus < 2 or smoke:
+            print(f"  ({host_cpus}-CPU host / smoke: TTFV floor not "
+                  f"enforced)")
+
+    if not smoke and host_cpus >= 2:
+        assert ratio >= TTFV_FLOOR, (
+            f"streamed TTFV only {ratio:.1f}x earlier than replay, "
+            f"below the {TTFV_FLOOR:.1f}x floor"
         )

@@ -429,7 +429,13 @@ class AcquisitionEngine:
         derived exactly as a solo :meth:`acquire` call with the same
         roles would derive it, and synthesis runs per member on its own
         lane slice, so each member's result matches its solo
-        acquisition; only the logic/fold compute layout changes.
+        acquisition; only the logic/fold compute layout changes.  The
+        fleet's streaming ingest leans on this: one lane-packed pass
+        per campaign *chunk* (members carrying per-chunk ``rng_role``
+        values — :func:`repro.fleet.producer.chunk_role`) is bitwise
+        equal to the solo per-chunk campaigns the replay path
+        prematerialises, which is what makes ``--ingest=stream``
+        byte-identical to replay.
 
         Parameters
         ----------

@@ -78,6 +78,11 @@ FLEET_INGEST_DEPTH_ENV_VAR = "REPRO_FLEET_INGEST_DEPTH"
 #: Shard transport: ``auto`` (default), ``socket`` or ``inline``.
 FLEET_TRANSPORT_ENV_VAR = "REPRO_FLEET_TRANSPORT"
 
+#: Fleet trace ingest mode: ``replay`` (prematerialise every campaign
+#: up front, then stream it) or ``stream`` (generate chunks live,
+#: overlapped with scoring).
+FLEET_INGEST_ENV_VAR = "REPRO_FLEET_INGEST"
+
 # -- built-in defaults -------------------------------------------------
 
 #: Default cap on an EM kernel's transient broadcast buffers [bytes].
@@ -100,6 +105,13 @@ FLEET_TRANSPORTS = ("auto", "socket", "inline")
 
 #: Default per-shard ingest queue depth [frames].
 DEFAULT_FLEET_INGEST_DEPTH = 16
+
+#: Valid fleet trace ingest modes.  ``replay`` prematerialises every
+#: chip's campaign before the first window is scored; ``stream``
+#: drives the acquisition pipeline chunk by chunk while earlier chunks
+#: are being scored.  Both deliver bit-identical windows — the choice
+#: trades time-to-first-verdict and peak memory, never results.
+FLEET_INGEST_MODES = ("replay", "stream")
 
 
 def _parse_workers(raw: str) -> int:
@@ -180,6 +192,9 @@ class ReproConfig:
     fleet_ingest_depth: int = DEFAULT_FLEET_INGEST_DEPTH
     #: Shard transport: ``auto`` / ``socket`` / ``inline``.
     fleet_transport: str = "auto"
+    #: Fleet trace ingest mode: ``replay`` (prematerialised campaigns)
+    #: or ``stream`` (live chunked generation overlapping scoring).
+    fleet_ingest: str = "replay"
     #: Host CPU count snapshot; ``0`` means "detect now".  The
     #: single-CPU pool auto-degrade decision is taken from this field,
     #: once, instead of re-reading ``os.cpu_count()`` at every
@@ -250,6 +265,11 @@ class ReproConfig:
                 f"unknown fleet transport {self.fleet_transport!r}; "
                 f"expected one of {FLEET_TRANSPORTS}"
             )
+        if self.fleet_ingest not in FLEET_INGEST_MODES:
+            raise ExperimentError(
+                f"unknown fleet ingest mode {self.fleet_ingest!r}; "
+                f"expected one of {FLEET_INGEST_MODES}"
+            )
         if not isinstance(self.host_cpus, int) or isinstance(
             self.host_cpus, bool
         ):
@@ -314,6 +334,7 @@ class ReproConfig:
             _parse_int_env(FLEET_INGEST_DEPTH_ENV_VAR),
         )
         from_env("fleet_transport", FLEET_TRANSPORT_ENV_VAR, str)
+        from_env("fleet_ingest", FLEET_INGEST_ENV_VAR, str)
         return cls(**values)
 
     # -- derived views -------------------------------------------------

@@ -141,8 +141,6 @@ def collect_ed_traces(
     one window per encryption, and band-limits/decimates to the
     analysis rate (set ``decimate=1`` for raw traces).
     """
-    spc = chip.config.samples_per_cycle
-    window = ED_PERIOD * spc
     windows_per_col = -(-n_traces // batch) + WARMUP_WINDOWS
     n_cycles = windows_per_col * ED_PERIOD
     engine = acquisition_engine(chip, scenario)
@@ -155,21 +153,51 @@ def collect_ed_traces(
         receivers=receivers,
         rng_role=rng_role,
     )
-    out: dict[str, np.ndarray] = {}
-    for name in receivers:
-        rec = result.traces[name]
-        usable = windows_per_col - WARMUP_WINDOWS
-        if decimate > 1:
-            rec = signal.decimate(rec, decimate, axis=1, zero_phase=True)
-            w = window // decimate
-        else:
-            w = window
-        segs = rec[:, WARMUP_WINDOWS * w : (WARMUP_WINDOWS + usable) * w]
-        segs = segs.reshape(batch, usable, w)
-        # Interleave batch columns so truncation keeps phase diversity.
-        segs = segs.transpose(1, 0, 2).reshape(batch * usable, w)
-        out[name] = segs[:n_traces]
-    return out
+    return {
+        name: segment_ed_windows(
+            result.traces[name],
+            batch=batch,
+            n_traces=n_traces,
+            spc=chip.config.samples_per_cycle,
+            decimate=decimate,
+        )
+        for name in receivers
+    }
+
+
+def segment_ed_windows(
+    rec: np.ndarray,
+    *,
+    batch: int,
+    n_traces: int,
+    spc: int,
+    decimate: int = ED_DECIMATE,
+) -> np.ndarray:
+    """Cut one receiver record into per-encryption analysis windows.
+
+    The shared post-processing of :func:`collect_ed_traces`:
+    band-limit/decimate the ``(batch, samples)`` record, strip the
+    warm-up windows, and interleave batch columns into ``(n_traces,
+    window_samples)``.  Factored out so the streaming fleet producer
+    (:class:`repro.fleet.producer.GroupChunkSource`), which acquires
+    its records lane-packed through ``acquire_group``, lands on
+    byte-identical windows to a solo-acquired campaign chunk — every
+    operation here is row-wise, so it cannot reintroduce a
+    cross-member dependency.
+    """
+    window = ED_PERIOD * spc
+    windows_per_col = -(-n_traces // batch) + WARMUP_WINDOWS
+    usable = windows_per_col - WARMUP_WINDOWS
+    if decimate > 1:
+        rec = signal.decimate(rec, decimate, axis=1, zero_phase=True)
+        w = window // decimate
+    else:
+        w = window
+    segs = rec[:, WARMUP_WINDOWS * w : (WARMUP_WINDOWS + usable) * w]
+    segs = segs.reshape(batch, usable, w)
+    # Interleave batch columns so truncation keeps phase diversity.
+    segs = segs.transpose(1, 0, 2).reshape(batch * usable, w)
+    return segs[:n_traces]
 
 
 def collect_attack_traces(

@@ -19,6 +19,13 @@ output" — scaled out to a fleet of deployed chips:
   framed wire protocol (:mod:`repro.fleet.wire`), memmapped
   zero-copy trace hand-off, and per-shard journals/metrics merged
   back bit-identically to the serial run;
+* :class:`~repro.fleet.producer.StreamingTraceProducer` — live
+  ``--ingest=stream`` trace generation: chunked, double-buffered
+  acquisition overlapped with scoring (chunks reach shard workers as
+  incremental ``APPEND`` stream-store segments), bit-identical to the
+  pre-materialised replay because the
+  :class:`~repro.fleet.producer.ChunkPlan` and its per-chunk RNG
+  roles define the campaign in both modes;
 * :class:`~repro.obs.metrics.MetricsRegistry` and
   :class:`~repro.obs.journal.EventJournal` (shared :mod:`repro.obs`
   package, re-exported here) — counters, gauges,
@@ -43,6 +50,14 @@ from repro.fleet.scheduler import (
 )
 from repro.fleet.session import MonitorSession, floor_scaled_threshold
 from repro.fleet.ingest import ShardedFleetScheduler
+from repro.fleet.producer import (
+    ArrayChunkSource,
+    ChunkPlan,
+    GroupChunkSource,
+    ProducerTraceSource,
+    StreamingTraceProducer,
+    chunk_role,
+)
 from repro.fleet.shard import HashRing, shard_assignments
 from repro.fleet.campaign import (
     DEFAULT_FLEET,
@@ -67,6 +82,12 @@ __all__ = [
     "MonitorSession",
     "floor_scaled_threshold",
     "ShardedFleetScheduler",
+    "ArrayChunkSource",
+    "ChunkPlan",
+    "GroupChunkSource",
+    "ProducerTraceSource",
+    "StreamingTraceProducer",
+    "chunk_role",
     "HashRing",
     "shard_assignments",
     "DEFAULT_FLEET",

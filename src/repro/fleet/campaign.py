@@ -22,6 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
+from repro.analysis.euclidean import (
+    DistanceReport,
+    EuclideanDetector,
+    euclidean_distances,
+)
 from repro.analysis.spectral import amplitude_spectrum, compare_spectra
 from repro.chip.scenario import simulation_scenario
 from repro.errors import ExperimentError
@@ -31,8 +38,14 @@ from repro.experiments.campaign import (
     shared_chip,
 )
 from repro.experiments.parallel import campaign_spec, run_campaigns
-from repro.config import active_config
+from repro.config import FLEET_INGEST_MODES, active_config
 from repro.fleet.feed import NO_FAULTS, FaultSpec, TraceFeed
+from repro.fleet.producer import (
+    ChunkPlan,
+    GroupChunkSource,
+    StreamingTraceProducer,
+    chunk_role,
+)
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 from repro.fleet.ingest import ShardedFleetScheduler
@@ -88,6 +101,18 @@ class FleetConfig:
     #: Shard transport (``"auto"``/``"socket"``/``"inline"``), or
     #: ``None`` to defer to ``REPRO_FLEET_TRANSPORT``.
     transport: str | None = None
+    #: Trace ingest: ``"replay"`` pre-materialises every chip's whole
+    #: campaign before scoring starts; ``"stream"`` overlaps
+    #: generation with scoring through a live chunked producer.
+    #: ``None`` defers to ``REPRO_FLEET_INGEST``.  Both modes score
+    #: the exact same trace bytes (chunk roles are part of the
+    #: campaign's definition), so alarms, deterministic counters and
+    #: journal bytes are bit-identical.
+    ingest: str | None = None
+    #: Windows per campaign chunk.  One acquisition per chunk — the
+    #: granularity streaming overlaps at, and equally the replay
+    #: path's sub-campaign size, so the two ingests share RNG roles.
+    chunk: int = 64
     #: Link fault injection applied to every feed.
     faults: FaultSpec = NO_FAULTS
     #: Spectral sweep: record length, inspected band, boost criterion.
@@ -105,6 +130,12 @@ class FleetConfig:
             monitor_window=64,
             confirm=2,
             batch=8,
+            # Two chunks at smoke scale: still exercises the chunked
+            # RNG roles / multi-APPEND streaming path while keeping
+            # the marginal trojan1 verdict consistent with one-shot
+            # (smaller chunks shift the noise realisation enough to
+            # split the streaming and one-shot decisions).
+            chunk=48,
             spectral_cycles=768,
             # At smoke scale the bootstrap floor sits right on top of
             # the marginal Trojans' separations; the analytic envelope
@@ -178,6 +209,82 @@ class FleetCampaignResult:
         return "\n".join(lines)
 
 
+class StreamingOneShot:
+    """Incremental one-shot evaluation over a streamed campaign.
+
+    The replay path scores :meth:`TraceFeed.delivered_traces` through
+    :meth:`EuclideanDetector.evaluate` after the run; a streamed
+    campaign never holds all its windows at once, so this accumulates
+    the same statistics chunk by chunk from the producer's
+    ``on_chunk`` hook.  Each source window is weighted by its delivery
+    count (duplicates count twice, drops zero) — feature extraction
+    and per-row distances are row-independent, so ``exceed_fraction``
+    (integer counts) is *exactly* the replay value and the verdict
+    booleans agree; ``mean_distance``/``separation`` differ only by
+    float summation order (~1 ulp).
+    """
+
+    def __init__(self, detector: EuclideanDetector) -> None:
+        if detector.threshold is None or detector.separation_floor is None:
+            raise ExperimentError(
+                "streaming one-shot needs a fitted detector"
+            )
+        self.detector = detector
+        self.weights: dict[str, np.ndarray] = {}
+        self._acc: dict[str, dict] = {}
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Per-chip delivery counts over source windows (pre-run)."""
+        self.weights = {
+            c: np.asarray(w, dtype=np.float64) for c, w in weights.items()
+        }
+
+    def __call__(self, index, lo, hi, data) -> None:
+        # Runs on the producer thread, once per generated chunk; no
+        # other thread touches the accumulators until report().
+        fingerprint = self.detector.fingerprint
+        for chip_id, weights in self.weights.items():
+            w = weights[lo:hi]
+            total = float(w.sum())
+            if total == 0.0:
+                continue
+            feats = self.detector.features(data[chip_id])
+            d = euclidean_distances(feats, fingerprint)
+            acc = self._acc.setdefault(
+                chip_id,
+                {
+                    "n": 0.0,
+                    "dist": 0.0,
+                    "exceed": 0.0,
+                    "feat": np.zeros(feats.shape[1]),
+                },
+            )
+            acc["n"] += total
+            acc["dist"] += float(w @ d)
+            acc["exceed"] += float(w @ (d > self.detector.threshold))
+            acc["feat"] += w @ feats
+
+    def report(self, chip_id: str) -> DistanceReport:
+        """The chip's accumulated :class:`DistanceReport` (post-run)."""
+        if chip_id not in self._acc:
+            raise ExperimentError(
+                f"no windows of {chip_id!r} were delivered; cannot "
+                "form a one-shot verdict"
+            )
+        acc = self._acc[chip_id]
+        mean_feat = acc["feat"] / acc["n"]
+        return DistanceReport(
+            distances=np.empty(0),
+            threshold=float(self.detector.threshold),
+            mean_distance=acc["dist"] / acc["n"],
+            exceed_fraction=acc["exceed"] / acc["n"],
+            separation=float(
+                np.linalg.norm(mean_feat - self.detector.fingerprint)
+            ),
+            separation_floor=float(self.detector.separation_floor),
+        )
+
+
 def build_fleet_evaluator(
     chip, scenario, config: FleetConfig, golden_traces
 ) -> RuntimeTrustEvaluator:
@@ -215,13 +322,37 @@ def run_fleet_campaign(
     ids = [chip_id for chip_id, _ in fleet]
     if len(set(ids)) != len(ids):
         raise ExperimentError(f"fleet chip ids must be unique, got {ids}")
+    ingest = (
+        config.ingest
+        if config.ingest is not None
+        else active_config().fleet_ingest
+    )
+    if ingest not in FLEET_INGEST_MODES:
+        raise ExperimentError(
+            f"unknown fleet ingest mode {ingest!r}; "
+            f"expected one of {FLEET_INGEST_MODES}"
+        )
+    # The chunk plan is part of the campaign's definition: both ingest
+    # modes derive per-chunk RNG roles from it (a one-chunk plan keeps
+    # the legacy whole-campaign role), so they generate and score the
+    # exact same trace bytes.
+    plan = ChunkPlan(n_windows=config.n_windows, chunk=config.chunk)
+
+    def chunk_name(chip_id: str, k: int) -> str:
+        if plan.n_chunks == 1:
+            return f"fleet-ed-{chip_id}"
+        return f"fleet-ed-{chip_id}-c{k}"
+
     chip = shared_chip(seed=config.seed)
     scenario = calibrated(chip, simulation_scenario())
     rcv = config.receiver
 
-    # Every acquisition campaign, fanned out across processes at once:
-    # the golden characterisation set, each chip's streamed windows and
-    # the spectral-sweep records (golden reference + per chip).
+    # Every *pre-materialised* acquisition campaign, fanned out across
+    # processes at once: the golden characterisation set, the
+    # spectral-sweep records (golden reference + per chip) and — under
+    # replay ingest only — each chip's streamed windows, one cacheable
+    # sub-campaign per chunk.  Under streaming ingest the window
+    # campaigns are generated live by the producer instead.
     specs = [
         campaign_spec(
             "fleet-golden",
@@ -243,18 +374,23 @@ def run_fleet_campaign(
         ),
     ]
     for chip_id, enables in fleet:
-        specs.append(
-            campaign_spec(
-                f"fleet-ed-{chip_id}",
-                "ed",
-                chip,
-                scenario,
-                n_traces=config.n_windows,
-                trojan_enables=enables,
-                receivers=(rcv,),
-                rng_role=f"fleet/ed/{chip_id}",
-            )
-        )
+        if ingest == "replay":
+            for k in range(plan.n_chunks):
+                lo, hi = plan.bounds(k)
+                specs.append(
+                    campaign_spec(
+                        chunk_name(chip_id, k),
+                        "ed",
+                        chip,
+                        scenario,
+                        n_traces=hi - lo,
+                        trojan_enables=enables,
+                        receivers=(rcv,),
+                        rng_role=chunk_role(
+                            f"fleet/ed/{chip_id}", plan, k
+                        ),
+                    )
+                )
         specs.append(
             campaign_spec(
                 f"fleet-spec-{chip_id}",
@@ -296,16 +432,70 @@ def run_fleet_campaign(
         )
         for chip_id in ids
     ]
-    feeds = [
-        TraceFeed(
-            chip_id,
-            traces[f"fleet-ed-{chip_id}"][rcv],
-            batch=config.batch,
-            faults=config.faults,
-            seed=config.seed,
+    producer: StreamingTraceProducer | None = None
+    oneshot_acc: StreamingOneShot | None = None
+    if ingest == "replay":
+        feeds = [
+            TraceFeed(
+                chip_id,
+                np.concatenate(
+                    [
+                        traces[chunk_name(chip_id, k)][rcv]
+                        for k in range(plan.n_chunks)
+                    ],
+                    axis=0,
+                )
+                if plan.n_chunks > 1
+                else traces[chunk_name(chip_id, 0)][rcv],
+                batch=config.batch,
+                faults=config.faults,
+                seed=config.seed,
+            )
+            for chip_id in ids
+        ]
+    else:
+        # Live producer: one lane-packed acquisition per chunk across
+        # the whole fleet, double-buffered against scoring.  The
+        # one-shot comparison accumulates incrementally from the
+        # producer hook — a streamed campaign never exists in full.
+        oneshot_acc = StreamingOneShot(detector)
+        producer = StreamingTraceProducer(
+            GroupChunkSource(
+                chip,
+                scenario,
+                fleet,
+                plan,
+                receiver=rcv,
+                base_role="fleet/ed",
+            ),
+            ids,
+            n_windows=config.n_windows,
+            chunk=config.chunk,
+            metrics=metrics,
+            on_chunk=oneshot_acc,
         )
-        for chip_id in ids
-    ]
+        feeds = [
+            TraceFeed(
+                chip_id,
+                producer.source_for(chip_id),
+                batch=config.batch,
+                faults=config.faults,
+                seed=config.seed,
+            )
+            for chip_id in ids
+        ]
+        oneshot_acc.set_weights(
+            {
+                f.chip_id: np.bincount(
+                    np.asarray(f.delivered_seqs, dtype=np.intp),
+                    minlength=config.n_windows,
+                )
+                if f.n_delivered
+                else np.zeros(config.n_windows)
+                for f in feeds
+            }
+        )
+        producer.start()
     shards = (
         config.shards
         if config.shards is not None
@@ -338,7 +528,16 @@ def run_fleet_campaign(
             journal=journal,
             metrics=metrics,
         )
-    fleet_result = scheduler.run(feeds)
+    try:
+        fleet_result = scheduler.run(feeds)
+        if producer is not None:
+            # Trailing chunks the link dropped every window of still
+            # belong to the campaign — wait until the one-shot
+            # accumulator has seen them all.
+            producer.join()
+    finally:
+        if producer is not None:
+            producer.close()
 
     # Frequency-domain sweep: every chip's record against the golden
     # reference, band-limited like Fig. 4.
@@ -367,7 +566,14 @@ def run_fleet_campaign(
         report = fleet_result.reports[chip_id]
         # One-shot comparison: the plain detector over the exact trace
         # multiset the stream delivered, plus the same spectral sweep.
-        oneshot = detector.evaluate(feed_map[chip_id].delivered_traces())
+        # A streamed campaign was never held in full, so its one-shot
+        # statistics come from the chunk-by-chunk accumulator instead.
+        if oneshot_acc is not None:
+            oneshot = oneshot_acc.report(chip_id)
+        else:
+            oneshot = detector.evaluate(
+                feed_map[chip_id].delivered_traces()
+            )
         verdicts[chip_id] = ChipVerdict(
             chip_id=chip_id,
             verdict=combine_verdicts(

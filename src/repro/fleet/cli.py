@@ -1,4 +1,4 @@
-"""``repro-fleet`` — the fleet monitoring console entry point.
+"""``repro fleet`` — the fleet monitoring console entry point.
 
 Runs a simulated golden + T1–T4 + A2 fleet campaign and prints the
 fleet trust report: per-chip verdicts (time-domain streaming monitor
@@ -38,7 +38,7 @@ from repro.io.store import save_json_report
 
 def _parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
-        prog="repro-fleet",
+        prog="repro fleet",
         description=(
             "Stream a simulated fleet (golden + T1-T4 + A2) through the "
             "runtime trust monitor and print the fleet trust report."
@@ -85,6 +85,15 @@ def _parser() -> argparse.ArgumentParser:
                    default=None,
                    help="shard transport (default: "
                         "REPRO_FLEET_TRANSPORT, i.e. auto)")
+    p.add_argument("--ingest", choices=("replay", "stream"),
+                   default=None,
+                   help="trace ingest: pre-materialise campaigns "
+                        "(replay) or overlap generation with scoring "
+                        "(stream); default: REPRO_FLEET_INGEST, i.e. "
+                        "replay — both score identical bytes")
+    p.add_argument("--chunk", type=int, default=None,
+                   help="windows per campaign chunk (one acquisition "
+                        "per chunk; shared by both ingest modes)")
     p.add_argument("--spectral-cycles", type=int, default=None,
                    help="spectral sweep record length [cycles]")
     p.add_argument("--drop", type=float, default=0.0,
@@ -122,6 +131,8 @@ def _config_from(args: argparse.Namespace) -> FleetConfig:
         ("scoring", "scoring"),
         ("shards", "shards"),
         ("transport", "transport"),
+        ("ingest", "ingest"),
+        ("chunk", "chunk"),
         ("spectral_cycles", "spectral_cycles"),
     ):
         value = getattr(args, arg_name)
@@ -148,6 +159,8 @@ def _summary(result: FleetCampaignResult) -> dict:
         },
         "scoring_mode": result.config.scoring
         or active_config().fleet_scoring,
+        "ingest_mode": result.config.ingest
+        or active_config().fleet_ingest,
         "shards": (
             result.config.shards
             if result.config.shards is not None

@@ -15,6 +15,18 @@ The delivery schedule is computed eagerly from ``(seed, chip_id)``
 alone, so two feeds over the same campaign are identical — the
 property the scheduler's checkpoint/resume support leans on
 (:meth:`TraceFeed.batch_at` is random access).
+
+Where the rows themselves come from is a :class:`TraceSource`.  The
+classic mode wraps a prematerialised campaign matrix
+(:class:`MatrixTraceSource` — memmapped cache hits included); the
+streaming mode pulls rows on demand from a live producer
+(:class:`~repro.fleet.producer.ProducerTraceSource`) or, shard-side,
+from incrementally appended stream-store segments
+(:class:`~repro.io.store.SegmentedStream`).  The schedule is a pure
+function of ``(n_windows, faults, seed, chip_id)`` — no trace bytes
+involved — so every source yields the same delivery order and the
+same accounting, which is what makes ``--ingest=stream`` bit-identical
+to ``--ingest=replay``.
 """
 
 from __future__ import annotations
@@ -108,13 +120,65 @@ def _delivery_schedule(
     return delivered, dropped, duplicated, reordered
 
 
+class TraceSource:
+    """Where a feed's window rows live.
+
+    A source exposes the campaign's pre-fault window count and serves
+    rows by source sequence number.  :meth:`advance` is a *watermark
+    hint*: the feed guarantees no later :meth:`gather` will ask for a
+    sequence below the watermark, which is what lets a streaming
+    source free already-scored chunks (a matrix source ignores it).
+    """
+
+    @property
+    def n_windows(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def gather(self, seqs: np.ndarray) -> np.ndarray:
+        """Rows for *seqs* (delivery order), shape ``(len(seqs), S)``."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def advance(self, watermark: int) -> None:
+        """No future gather will need a sequence ``< watermark``."""
+
+
+class MatrixTraceSource(TraceSource):
+    """A prematerialised ``(n_windows, samples)`` campaign matrix."""
+
+    def __init__(self, traces: np.ndarray) -> None:
+        traces = np.atleast_2d(np.asarray(traces))
+        if traces.ndim != 2 or traces.shape[0] < 1:
+            raise ExperimentError(
+                f"feed traces must be (n, samples), got {traces.shape}"
+            )
+        self.matrix = traces
+
+    @property
+    def n_windows(self) -> int:
+        return self.matrix.shape[0]
+
+    def gather(self, seqs: np.ndarray) -> np.ndarray:
+        n = seqs.shape[0]
+        # A batch no drop/duplicate/reorder fault touched selects a
+        # contiguous ascending run — serve it as a read-only slice view
+        # instead of a fancy-indexed copy, so memmapped campaign rows
+        # stay on disk until the scoring engine actually reads them.
+        if n and int(seqs[-1]) - int(seqs[0]) == n - 1 \
+                and np.array_equal(seqs, np.arange(seqs[0], seqs[0] + n)):
+            view = self.matrix[int(seqs[0]):int(seqs[0]) + n]
+            if view.flags.writeable:
+                view.flags.writeable = False
+            return view
+        return self.matrix[seqs]
+
+
 class TraceFeed:
     """Replay of one chip's trace campaign as a batched stream."""
 
     def __init__(
         self,
         chip_id: str,
-        traces: np.ndarray,
+        traces,
         batch: int = 8,
         faults: FaultSpec | None = None,
         seed: int = 0,
@@ -126,7 +190,9 @@ class TraceFeed:
             Stream identity; also salts the fault-injection RNG role.
         traces:
             ``(n_windows, samples)`` campaign matrix (memmapped cache
-            hits work unchanged; rows are only read).
+            hits work unchanged; rows are only read), or any
+            :class:`TraceSource` — a live producer, shard-side
+            segments, ... — serving the same windows.
         batch:
             Windows per arrival batch (the last batch may be short).
         faults:
@@ -135,32 +201,49 @@ class TraceFeed:
             Parent seed of the fault-injection stream (derived through
             :func:`repro.rng.derive` with role ``fleet/feed/<chip_id>``).
         """
-        traces = np.atleast_2d(np.asarray(traces))
-        if traces.ndim != 2 or traces.shape[0] < 1:
-            raise ExperimentError(
-                f"feed traces must be (n, samples), got {traces.shape}"
-            )
         if batch < 1:
             raise ExperimentError(f"batch must be >= 1, got {batch}")
+        # Structural typing on purpose: repro.io.store.SegmentedStream
+        # fulfils the source contract without importing the fleet layer.
+        is_source = isinstance(traces, TraceSource) or (
+            hasattr(traces, "gather") and hasattr(traces, "n_windows")
+        )
+        source = traces if is_source else MatrixTraceSource(traces)
+        if source.n_windows < 1:
+            raise ExperimentError(
+                f"feed needs at least one window, got {source.n_windows}"
+            )
         self.chip_id = chip_id
         self.batch = batch
         self.faults = faults or NO_FAULTS
         self.seed = seed
-        self._traces = traces
+        self.source = source
         delivered, dropped, duplicated, reordered = _delivery_schedule(
-            traces.shape[0],
+            source.n_windows,
             self.faults,
             derive(seed, f"fleet/feed/{chip_id}"),
         )
         #: Source window indices in delivery order.
         self.delivered_seqs: tuple[int, ...] = tuple(delivered)
-        # Same indices as an array: fancy-indexing with a list re-walks
-        # it element by element on every batch_at call.
-        self._delivered_arr = np.asarray(delivered, dtype=np.intp)
         #: Source window indices lost in transit (surfaced, never silent).
         self.dropped_seqs: tuple[int, ...] = tuple(dropped)
         self.duplicated = duplicated
         self.reordered = reordered
+        # Same indices as an array: fancy-indexing with a list re-walks
+        # it element by element on every batch_at call.
+        self._delivered_arr = np.asarray(delivered, dtype=np.intp)
+        # Suffix minimum of the delivered sequence stream: the lowest
+        # source seq any batch >= i can still reference.  Feeds are
+        # consumed in ascending batch order, so after serving batch i
+        # the source may discard everything below
+        # ``_suffix_min[(i + 1) * batch]`` — the watermark handed to
+        # :meth:`TraceSource.advance`.
+        if len(delivered):
+            self._suffix_min = np.minimum.accumulate(
+                self._delivered_arr[::-1]
+            )[::-1]
+        else:
+            self._suffix_min = self._delivered_arr
 
     @property
     def source_traces(self) -> np.ndarray:
@@ -169,14 +252,22 @@ class TraceFeed:
         The sharded front-end persists this once per chip through
         :func:`repro.io.store.save_stream_store`; a shard rebuilding
         the feed from the saved matrix with the same ``(batch, faults,
-        seed)`` recovers the identical delivery schedule.
+        seed)`` recovers the identical delivery schedule.  Only
+        matrix-backed feeds have one — a streaming source deliberately
+        never holds the whole campaign.
         """
-        return self._traces
+        if not isinstance(self.source, MatrixTraceSource):
+            raise ExperimentError(
+                f"feed {self.chip_id!r} is not matrix-backed "
+                f"({type(self.source).__name__}); streaming feeds hand "
+                "traces over as incremental segments, not one store"
+            )
+        return self.source.matrix
 
     @property
     def n_source_windows(self) -> int:
         """Windows in the underlying campaign (pre-fault)."""
-        return self._traces.shape[0]
+        return self.source.n_windows
 
     @property
     def n_delivered(self) -> int:
@@ -195,12 +286,31 @@ class TraceFeed:
             )
         lo, hi = index * self.batch, (index + 1) * self.batch
         sel = self._delivered_arr[lo:hi]
+        rows = self.source.gather(sel)
+        n = len(self._delivered_arr)
+        if hi < n:
+            self.source.advance(int(self._suffix_min[hi]))
+        else:
+            self.source.advance(self.source.n_windows)
         return WindowBatch(
             chip_id=self.chip_id,
             seqs=self.delivered_seqs[lo:hi],
-            traces=self._traces[sel],
+            traces=rows,
             seq_array=sel,
         )
+
+    def low_watermark(self, index: int) -> int:
+        """Lowest source seq any batch ``>= index`` still references.
+
+        ``n_source_windows`` once *index* is past the last batch.  This
+        is the cursor a mid-stream checkpoint records per chip: a
+        resumed producer may start at the chunk holding the fleet-wide
+        minimum, and no remaining delivery will look below it.
+        """
+        lo = index * self.batch
+        if lo >= len(self._delivered_arr):
+            return self.source.n_windows
+        return int(self._suffix_min[lo])
 
     def seqs_at(self, index: int) -> tuple[int, ...]:
         """The *index*-th batch's sequence numbers, without trace rows.
@@ -227,4 +337,4 @@ class TraceFeed:
         check evaluates it through the plain
         :class:`~repro.analysis.euclidean.EuclideanDetector`.
         """
-        return self._traces[self._delivered_arr]
+        return np.asarray(self.source.gather(self._delivered_arr))

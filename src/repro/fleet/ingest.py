@@ -53,6 +53,8 @@ import tempfile
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.config import (
     FLEET_SCORING_MODES,
     FLEET_TRANSPORTS,
@@ -66,6 +68,7 @@ from repro.fleet.scheduler import (
     chip_report_from,
     journal_queue_drop,
 )
+from repro.fleet.producer import ProducerTraceSource, StreamingTraceProducer
 from repro.fleet.session import MonitorSession
 from repro.fleet.shard import (
     ShardEngine,
@@ -74,6 +77,7 @@ from repro.fleet.shard import (
     shard_worker_main,
 )
 from repro.fleet.wire import (
+    APPEND,
     BATCH,
     ERROR,
     HELLO,
@@ -87,7 +91,7 @@ from repro.fleet.wire import (
     read_frame,
     write_frame,
 )
-from repro.io.store import save_stream_store
+from repro.io.store import StreamSegmentWriter, save_stream_store
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 
@@ -309,6 +313,14 @@ class ShardedFleetScheduler:
         self._pending: dict[str, list[int]] = {c: [] for c in ids}
         self._queue_dropped: dict[str, list[int]] = {c: [] for c in ids}
         self._chip_index = {c: i for i, c in enumerate(ids)}
+        # Streaming ingest state (set by run() when the feeds pull from
+        # a live producer): the shared producer and the next chunk to
+        # persist + APPEND to the shards.
+        self._producer: StreamingTraceProducer | None = None
+        self._shipped = 0
+        self._segments: StreamSegmentWriter | None = None
+        self._t0: float | None = None
+        self._feed_map: dict[str, TraceFeed] | None = None
 
     # -- knob resolution (argument > env/config > default) -------------
     def effective_shards(self) -> int:
@@ -364,6 +376,8 @@ class ShardedFleetScheduler:
                 f"feeds {sorted(feed_map)} do not match sessions "
                 f"{sorted(self.order)}"
             )
+        self._producer = self._resolve_producer(feed_map)
+        self._feed_map = feed_map
         start = time.perf_counter()
         if store_dir is not None:
             complete = asyncio.run(
@@ -399,6 +413,32 @@ class ShardedFleetScheduler:
             ),
         )
 
+    def _resolve_producer(
+        self, feed_map: dict[str, TraceFeed]
+    ) -> StreamingTraceProducer | None:
+        """The fleet's shared live producer, if the feeds stream.
+
+        Streaming is all-or-nothing: every feed pulls from the same
+        :class:`StreamingTraceProducer` (chunks are generated
+        lane-packed across the whole fleet), or none does.
+        """
+        producers = {
+            id(feed.source.producer): feed.source.producer
+            for feed in feed_map.values()
+            if isinstance(feed.source, ProducerTraceSource)
+        }
+        if not producers:
+            return None
+        if len(producers) > 1 or len(feed_map) != len(self.order) or any(
+            not isinstance(feed.source, ProducerTraceSource)
+            for feed in feed_map.values()
+        ):
+            raise ExperimentError(
+                "streaming feeds must all share one producer "
+                "(mixed producer/matrix fleets are not supported)"
+            )
+        return next(iter(producers.values()))
+
     async def _run_async(
         self,
         feed_map: dict[str, TraceFeed],
@@ -410,6 +450,9 @@ class ShardedFleetScheduler:
         transport = self.effective_transport()
         owner = shard_assignments(self.order, n_shards)
         self.metrics.gauge("fleet.shards").max(n_shards)
+        if self._producer is not None:
+            self._shipped = self._producer.start_chunk
+            self._segments = StreamSegmentWriter(store_dir, prefix="chunk")
         links = await self._open_links(n_shards, transport, store_dir)
         try:
             await self._init_shards(
@@ -508,15 +551,40 @@ class ShardedFleetScheduler:
         store_dir: Path,
         n_shards: int,
     ) -> None:
-        # Persist each chip's stream once; frames then carry refs.
-        refs = {}
-        for chip_id in self.order:
-            feed = feed_map[chip_id]
-            refs[chip_id] = save_stream_store(
-                feed.source_traces,
-                store_dir / f"stream-{chip_id}.npy",
-                chip_id=chip_id,
+        if self._producer is None:
+            # Replay ingest: persist each chip's prematerialised stream
+            # once; frames then carry refs.
+            specs = {}
+            for chip_id in self.order:
+                feed = feed_map[chip_id]
+                ref = save_stream_store(
+                    feed.source_traces,
+                    store_dir / f"stream-{chip_id}.npy",
+                    chip_id=chip_id,
+                )
+                specs[chip_id] = {"ref": ref.as_dict()}
+            self._t0 = time.time()
+        else:
+            # Streaming ingest: no up-front store.  Shards build empty
+            # SegmentedStream views now; rows follow as APPEND frames.
+            # The first chunk (already being generated in the
+            # background) fixes the row shape/dtype the views need.
+            producer = self._producer
+            first = await asyncio.to_thread(
+                producer.chunk, producer.start_chunk
             )
+            sample = first[self.order[0]]
+            self._t0 = time.time()
+            specs = {
+                chip_id: {
+                    "stream": {
+                        "n_windows": producer.n_windows,
+                        "samples": int(sample.shape[1]),
+                        "dtype": str(sample.dtype),
+                    }
+                }
+                for chip_id in self.order
+            }
         scoring = self.scoring_mode()
         evaluator_state = evaluator_to_wire(
             self.sessions[self.order[0]].evaluator
@@ -527,7 +595,7 @@ class ShardedFleetScheduler:
                     "chip_id": chip_id,
                     "session": self.sessions[chip_id].state_dict(),
                     "feed": {
-                        "ref": refs[chip_id].as_dict(),
+                        **specs[chip_id],
                         "batch": feed_map[chip_id].batch,
                         "faults": [
                             feed_map[chip_id].faults.drop,
@@ -547,6 +615,7 @@ class ShardedFleetScheduler:
                     "scoring": scoring,
                     "evaluator": evaluator_state,
                     "chips": chips,
+                    "t0": self._t0,
                 },
             )
 
@@ -562,7 +631,46 @@ class ShardedFleetScheduler:
         Bookkeeping (tick counter, pending indices, drop decisions,
         high-water gauges) is line-for-line the serial scheduler's —
         the *only* difference is that ingestion becomes a frame send.
+        Under streaming ingest, every frame that references a batch is
+        preceded (on the same FIFO links) by the ``APPEND`` frames for
+        whatever chunks that batch's windows live in.
         """
+        producer = self._producer
+
+        async def ship_through(chip_id: str, index: int) -> None:
+            # Persist + broadcast every chunk the batch's highest
+            # source window needs; link FIFOs guarantee the APPENDs
+            # land before the BATCH/TICK that references them.
+            needed = producer.plan.chunk_of(
+                max(feed_map[chip_id].seqs_at(index))
+            )
+            while self._shipped <= needed:
+                k = self._shipped
+                lo, hi = producer.plan.bounds(k)
+                data = await asyncio.to_thread(producer.chunk, k)
+                ref = self._segments.append(
+                    np.concatenate(
+                        [data[c] for c in self.order], axis=0
+                    ),
+                    label="chunk",
+                )
+                header = {
+                    "chunk": k,
+                    "lo": lo,
+                    "hi": hi,
+                    "ref": ref.as_dict(),
+                    "chips": {
+                        c: i * (hi - lo)
+                        for i, c in enumerate(self.order)
+                    },
+                }
+                for link in links:
+                    await link.send(APPEND, header)
+                # The chunk now lives on disk behind the shards'
+                # memmaps; the producer's in-memory copy can go.
+                producer.release_through(hi)
+                self._shipped = k + 1
+
         produced, pending = self._produced, self._pending
         hw_gauges = {
             c: self.metrics.gauge(f"chip.{c}.queue_high_water")
@@ -602,6 +710,8 @@ class ShardedFleetScheduler:
                         # so an all-clear run snapshots no counter.
                         self.metrics.counter("fleet.queue.blocked").inc()
                         oldest = pending[chip_id].pop(0)
+                        if producer is not None:
+                            await ship_through(chip_id, oldest)
                         await links[owner[chip_id]].send(
                             BATCH,
                             {
@@ -620,6 +730,10 @@ class ShardedFleetScheduler:
                         arrivals.setdefault(owner[chip_id], []).append(
                             [chip_id, pending[chip_id].pop(0)]
                         )
+                if producer is not None:
+                    for batch_list in arrivals.values():
+                        for chip_id, index in batch_list:
+                            await ship_through(chip_id, index)
                 for shard_id, batch_list in arrivals.items():
                     await links[shard_id].send(
                         TICK,
@@ -630,6 +744,16 @@ class ShardedFleetScheduler:
     def _merge(self, states: list[dict]) -> None:
         """Fold shard results into this process, restoring event order."""
         evaluator = self.sessions[self.order[0]].evaluator
+        # Time-to-first-verdict travels in the STATE header, not the
+        # metrics state: the metrics merge maxes gauges, and the fleet
+        # verdict lands at the *earliest* shard alarm.
+        ttfvs = [
+            state["ttfv"]
+            for state in states
+            if state.get("ttfv") is not None
+        ]
+        if ttfvs:
+            self.metrics.gauge("fleet.ttfv.seconds").set(min(ttfvs))
         for state in states:
             self.metrics.merge_state(state["metrics"])
             for chip_id, session_state in state["sessions"].items():
@@ -677,7 +801,7 @@ class ShardedFleetScheduler:
         checkpointed); the shard workers are already gone by then, the
         merged session states live here.
         """
-        return {
+        state = {
             "tick": self._tick,
             "queue_depth": self.queue_depth,
             "policy": self.policy,
@@ -692,6 +816,27 @@ class ShardedFleetScheduler:
                 c: self.sessions[c].state_dict() for c in self.order
             },
         }
+        if self._producer is not None:
+            # Extra key, ignored by replay resumes: the producer cursor
+            # a resumed streaming run passes back as ``start_chunk``.
+            # The front-end advances producer watermarks as it *ships*
+            # (not as shards consume), so the resumable cursor comes
+            # from the scheduler's own pending state: the chunk of the
+            # lowest window any pending-or-future batch references.
+            state["producer"] = self._producer.state_dict()
+            if self._feed_map is not None:
+                low = min(
+                    self._feed_map[c].low_watermark(
+                        self._pending[c][0]
+                        if self._pending[c]
+                        else self._produced[c]
+                    )
+                    for c in self.order
+                )
+                state["producer"]["next_chunk"] = (
+                    self._producer.plan.chunk_of(low)
+                )
+        return state
 
     @classmethod
     def from_state(

@@ -338,6 +338,11 @@ class FleetScheduler:
         self._queue_dropped: dict[str, list[int]] = {c: [] for c in ids}
         #: Serial-mode batched scoring engine (built per run).
         self._engine: BatchedFleetMonitor | None = None
+        # Time-to-first-verdict bookkeeping + (streaming ingest) the
+        # live producer behind the feeds, both bound by run().
+        self._t0 = 0.0
+        self._ttfv_done = False
+        self._producer = None
 
     # ------------------------------------------------------------------
     def scoring_mode(self) -> str:
@@ -371,7 +376,20 @@ class FleetScheduler:
             )
         n_workers = self._effective_workers()
         mode = self.scoring_mode()
+        # Duck-typed on purpose: ProducerTraceSource is the only
+        # source exposing .producer, and checking structurally keeps
+        # the scheduler import-independent of the streaming layer.
+        self._producer = next(
+            (
+                f.source.producer
+                for f in feeds
+                if hasattr(f.source, "producer")
+            ),
+            None,
+        )
         start = time.perf_counter()
+        self._t0 = start
+        self._ttfv_done = False
         if n_workers > 1:
             if max_ticks is not None:
                 raise ExperimentError(
@@ -408,12 +426,26 @@ class FleetScheduler:
             feed.seqs_at(batch_index),
         )
 
+    def _note_ttfv(self, alarmed: bool) -> None:
+        """Record time-to-first-verdict at the fleet's first alarm.
+
+        Driven by the ingest return values (not the alarm counter), so
+        an all-clear run creates no instrument — snapshot parity with
+        pre-TTFV checkpoints and across topologies.
+        """
+        if alarmed and not self._ttfv_done:
+            self._ttfv_done = True
+            self.metrics.gauge("fleet.ttfv.seconds").set(
+                time.perf_counter() - self._t0
+            )
+
     def _ingest_one(self, chip_id: str, batch: WindowBatch) -> None:
         """Drain one batch through the active scoring engine."""
         if self._engine is not None:
-            self._engine.ingest_tick([(self.sessions[chip_id], batch)])
+            out = self._engine.ingest_tick([(self.sessions[chip_id], batch)])
+            self._note_ttfv(any(out.values()))
         else:
-            self.sessions[chip_id].ingest(batch)
+            self._note_ttfv(bool(self.sessions[chip_id].ingest(batch)))
 
     def _run_serial(
         self, feed_map: dict[str, TraceFeed], max_ticks: int | None
@@ -474,12 +506,15 @@ class FleetScheduler:
                 ]
                 if self._engine is not None:
                     # One batched tick across every chip that has work.
-                    self._engine.ingest_tick(
+                    out = self._engine.ingest_tick(
                         [(self.sessions[c], b) for c, b in drained]
                     )
+                    self._note_ttfv(any(out.values()))
                 else:
                     for chip_id, batch in drained:
-                        self.sessions[chip_id].ingest(batch)
+                        self._note_ttfv(
+                            bool(self.sessions[chip_id].ingest(batch))
+                        )
 
     def _run_threaded(
         self, feed_map: dict[str, TraceFeed], n_workers: int, mode: str
@@ -517,10 +552,13 @@ class FleetScheduler:
                         if engine is not None:
                             arrivals.append((self.sessions[chip_id], item))
                         else:
-                            self.sessions[chip_id].ingest(item)
+                            self._note_ttfv(
+                                bool(self.sessions[chip_id].ingest(item))
+                            )
                         progress = True
                     if arrivals:
-                        engine.ingest_tick(arrivals)
+                        out = engine.ingest_tick(arrivals)
+                        self._note_ttfv(any(out.values()))
                     if not progress and active:
                         time.sleep(1e-4)
                 if engine is not None:
@@ -619,7 +657,7 @@ class FleetScheduler:
         """
         if self._engine is not None:
             self._engine.sync_to_sessions()
-        return {
+        state = {
             "tick": self._tick,
             "queue_depth": self.queue_depth,
             "policy": self.policy,
@@ -634,6 +672,13 @@ class FleetScheduler:
                 c: self.sessions[c].state_dict() for c in self.order
             },
         }
+        if self._producer is not None:
+            # Streaming ingest rides along as an extra key every
+            # from_state tolerates: the producer's resume cursor (the
+            # serial loop advances watermarks exactly at consumption,
+            # so the producer's own view is the right one here).
+            state["producer"] = self._producer.state_dict()
+        return state
 
     @classmethod
     def from_state(

@@ -33,6 +33,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import socket
+import time
 import traceback
 
 from repro.analysis.euclidean import EuclideanDetector
@@ -40,6 +41,7 @@ from repro.errors import ExperimentError
 from repro.fleet.feed import FaultSpec, TraceFeed
 from repro.fleet.session import MonitorSession
 from repro.fleet.wire import (
+    APPEND,
     BATCH,
     ERROR,
     HELLO,
@@ -53,7 +55,7 @@ from repro.fleet.wire import (
 )
 from repro.framework.batched import BatchedFleetMonitor
 from repro.framework.evaluator import EvaluatorConfig, RuntimeTrustEvaluator
-from repro.io.store import open_stream_store
+from repro.io.store import SegmentedStream, open_stream_store
 from repro.obs.journal import EventJournal
 from repro.obs.metrics import MetricsRegistry
 
@@ -159,6 +161,14 @@ class ShardEngine:
         self.evaluator: RuntimeTrustEvaluator | None = None
         self._engine: BatchedFleetMonitor | None = None
         self._error: str | None = None
+        # Streaming ingest: per owned chip, the segmented view APPEND
+        # frames grow; empty for replay (whole-store) runs.
+        self._streams: dict[str, SegmentedStream] = {}
+        # Time-to-first-verdict, measured against the front-end's run
+        # start (the INIT frame's ``t0`` wall clock) — wall clock is
+        # the one clock processes share.
+        self._t0: float | None = None
+        self._ttfv: float | None = None
 
     # -- frame dispatch ------------------------------------------------
     def handle(
@@ -175,6 +185,8 @@ class ShardEngine:
         try:
             if kind == INIT:
                 self._init(header)
+            elif kind == APPEND:
+                self._append(header)
             elif kind == BATCH:
                 self._batch(header)
             elif kind == TICK:
@@ -195,9 +207,12 @@ class ShardEngine:
     def _init(self, header: dict) -> None:
         self.evaluator = evaluator_from_wire(header["evaluator"])
         scoring = header["scoring"]
+        self._t0 = float(header["t0"]) if "t0" in header else None
+        self._ttfv = None
         self.order = [spec["chip_id"] for spec in header["chips"]]
         self.sessions = {}
         self.feeds = {}
+        self._streams = {}
         for spec in header["chips"]:
             chip_id = spec["chip_id"]
             session = MonitorSession.from_state(
@@ -208,7 +223,19 @@ class ShardEngine:
             )
             self.sessions[chip_id] = session
             feed_spec = spec["feed"]
-            traces = open_stream_store(feed_spec["ref"])
+            if "stream" in feed_spec:
+                # Streaming ingest: rows arrive later as APPEND
+                # segments; the delivery schedule only needs the
+                # window count, so the feed is fully built now.
+                stream = feed_spec["stream"]
+                traces = SegmentedStream(
+                    n_windows=int(stream["n_windows"]),
+                    samples=int(stream["samples"]),
+                    dtype=str(stream["dtype"]),
+                )
+                self._streams[chip_id] = traces
+            else:
+                traces = open_stream_store(feed_spec["ref"])
             self.feeds[chip_id] = TraceFeed(
                 chip_id,
                 traces,
@@ -226,17 +253,40 @@ class ShardEngine:
                 metrics=self.metrics,
             )
 
+    def _append(self, header: dict) -> None:
+        """Attach one streamed chunk segment to every owned chip.
+
+        The segment is lane-stacked: one store file holds the chunk's
+        rows for the *whole* fleet, and ``chips`` maps each chip to
+        its row offset inside it.  Chips this shard does not own are
+        simply skipped — every shard receives every APPEND.
+        """
+        lo, hi = int(header["lo"]), int(header["hi"])
+        for chip_id, stream in self._streams.items():
+            stream.append(
+                header["ref"],
+                lo,
+                hi,
+                row_offset=int(header["chips"][chip_id]),
+            )
+
     def _ingest(self, arrivals: list[tuple[str, int]]) -> None:
         """Score a list of ``(chip, batch_index)`` in the given order."""
         pairs = [
             (self.sessions[chip], self.feeds[chip].batch_at(int(index)))
             for chip, index in arrivals
         ]
+        alarmed = False
         if self._engine is not None:
-            self._engine.ingest_tick(pairs)
+            out = self._engine.ingest_tick(pairs)
+            alarmed = any(out.values())
         else:
             for session, batch in pairs:
-                session.ingest(batch)
+                alarmed = bool(session.ingest(batch)) or alarmed
+        # Detected from the ingest return values, not the alarm
+        # counter — an all-clear run must create no instrument.
+        if alarmed and self._ttfv is None and self._t0 is not None:
+            self._ttfv = time.time() - self._t0
 
     def _batch(self, header: dict) -> None:
         # One block-policy drain: the front-end's production loop hit
@@ -268,6 +318,7 @@ class ShardEngine:
                 [tag, event] for tag, event in self.journal.tagged()
             ],
             "metrics": self.metrics.state_dict(),
+            "ttfv": self._ttfv,
         }
         return (STATE, header, b"")
 

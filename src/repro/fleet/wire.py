@@ -38,6 +38,11 @@ Frame kinds
               events + metrics state (the response to ``RESULT``).
 ``SHUTDOWN``  front-end → shard: exit cleanly.
 ``ERROR``     shard → front-end: ``{"error": traceback}``.
+``APPEND``    front-end → shard: one freshly generated streaming
+              chunk — ``{"chunk", "lo", "hi", "ref", "chips": {chip:
+              row_offset}}``; the ref names a lane-stacked stream
+              store segment the shard attaches to every owned chip's
+              :class:`~repro.io.store.SegmentedStream`.
 """
 
 from __future__ import annotations
@@ -58,8 +63,9 @@ RESULT = 5
 STATE = 6
 SHUTDOWN = 7
 ERROR = 8
+APPEND = 9
 
-KINDS = (HELLO, INIT, BATCH, TICK, RESULT, STATE, SHUTDOWN, ERROR)
+KINDS = (HELLO, INIT, BATCH, TICK, RESULT, STATE, SHUTDOWN, ERROR, APPEND)
 
 #: Hard ceiling on one frame's body — a corrupt length prefix must not
 #: make a reader allocate gigabytes.  Headers carry refs and state
