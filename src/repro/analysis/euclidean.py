@@ -181,6 +181,17 @@ class EuclideanDetector:
             k = min(self.n_components, feats.shape[0] - 1, feats.shape[1])
             self._pca = PCA(k).fit(feats)
             feats = self._pca.transform(feats)
+        return self._fit_stats(feats)
+
+    def _fit_stats(self, feats: np.ndarray) -> "EuclideanDetector":
+        """Golden statistics from already-extracted feature rows.
+
+        The feature space is whatever :meth:`features` produces —
+        unit-norm trace shapes here, per-window amplitude spectra in
+        the registry's spectral plugin — and every derived statistic
+        (fingerprint, Eq. (1) threshold, per-row distances, bootstrap
+        separation floor) is computed the same way in either space.
+        """
         self._fingerprint = feats.mean(axis=0)
         self.threshold = pairwise_max_distance(feats)
         self.golden_distances = euclidean_distances(feats, self._fingerprint)

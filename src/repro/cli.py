@@ -5,6 +5,9 @@ One entry point for everything the repo reproduces:
 ``repro list``
     the experiment registry — every table/figure, its scenario and
     its full/smoke sizes;
+``repro detectors``
+    the detector registry — every pluggable window detector, whether
+    it needs a golden reference, and what it measures;
 ``repro run fig4 euclidean --out out/``
     run selected experiments and write one validated
     :class:`~repro.experiments.result.RunResult` JSON artifact each;
@@ -46,6 +49,8 @@ def _parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the registered experiments")
 
+    sub.add_parser("detectors", help="list the registered detectors")
+
     run = sub.add_parser("run", help="run experiments, write artifacts")
     run.add_argument("names", nargs="*", metavar="experiment",
                      help="experiment names (see `repro list`)")
@@ -78,6 +83,21 @@ def _cmd_list() -> int:
         print(f"{spec.name:<{width}}  {spec.scenario:<8}  {spec.title}")
     print(f"\n{len(specs)} experiments; run with "
           f"`repro run <name>` or `repro run --all --smoke`")
+    return 0
+
+
+def _cmd_detectors() -> int:
+    from repro.detectors import all_detector_infos
+
+    infos = all_detector_infos()
+    name_w = max(len(i.name) for i in infos)
+    basis_w = max(len(i.basis) for i in infos)
+    print(f"{'detector':<{name_w}}  {'basis':<{basis_w}}  description")
+    for info in infos:
+        print(f"{info.name:<{name_w}}  {info.basis:<{basis_w}}  "
+              f"{info.summary}")
+    print(f"\n{len(infos)} detectors; select with REPRO_DETECTOR or "
+          f"compare with `repro run detector_tournament`")
     return 0
 
 
@@ -127,6 +147,8 @@ def main(argv: list[str] | None = None) -> int:
     args = _parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "detectors":
+        return _cmd_detectors()
     if args.command == "run":
         return _cmd_run(args)
     # Unreachable fallback (fleet is dispatched above); keep argparse

@@ -83,6 +83,9 @@ FLEET_TRANSPORT_ENV_VAR = "REPRO_FLEET_TRANSPORT"
 #: overlapped with scoring).
 FLEET_INGEST_ENV_VAR = "REPRO_FLEET_INGEST"
 
+#: Default detector plugin name (see ``repro detectors``).
+DETECTOR_ENV_VAR = "REPRO_DETECTOR"
+
 # -- built-in defaults -------------------------------------------------
 
 #: Default cap on an EM kernel's transient broadcast buffers [bytes].
@@ -195,6 +198,12 @@ class ReproConfig:
     #: Fleet trace ingest mode: ``replay`` (prematerialised campaigns)
     #: or ``stream`` (live chunked generation overlapping scoring).
     fleet_ingest: str = "replay"
+    #: Default detector plugin the framework resolves when no explicit
+    #: name is given (``repro detectors`` lists the registry).  The
+    #: name is validated against the registry at detector-creation
+    #: time, not here — the registry populates on package import and
+    #: the config must stay importable without it.
+    detector: str = "euclidean"
     #: Host CPU count snapshot; ``0`` means "detect now".  The
     #: single-CPU pool auto-degrade decision is taken from this field,
     #: once, instead of re-reading ``os.cpu_count()`` at every
@@ -270,6 +279,10 @@ class ReproConfig:
                 f"unknown fleet ingest mode {self.fleet_ingest!r}; "
                 f"expected one of {FLEET_INGEST_MODES}"
             )
+        if not isinstance(self.detector, str) or not self.detector:
+            raise ConfigError(
+                f"detector must be a non-empty string, got {self.detector!r}"
+            )
         if not isinstance(self.host_cpus, int) or isinstance(
             self.host_cpus, bool
         ):
@@ -335,6 +348,7 @@ class ReproConfig:
         )
         from_env("fleet_transport", FLEET_TRANSPORT_ENV_VAR, str)
         from_env("fleet_ingest", FLEET_INGEST_ENV_VAR, str)
+        from_env("detector", DETECTOR_ENV_VAR, str)
         return cls(**values)
 
     # -- derived views -------------------------------------------------

@@ -442,33 +442,46 @@ def get_or_fit_detector(
     params: dict,
     golden_traces: np.ndarray,
     cache: TraceCache | None | bool = None,
+    detector_name: str = "euclidean",
     **detector_kwargs,
 ):
-    """Fitted :class:`~repro.analysis.euclidean.EuclideanDetector`,
-    cached as a derived artifact of the golden campaign.
+    """Fitted registry detector, cached as a derived artifact of the
+    golden campaign.
 
-    The golden fingerprint, Eq. (1) threshold and bootstrap floor are
-    pure functions of the golden trace campaign and the detector
+    The fitted statistics (fingerprint, Eq. (1) threshold, bootstrap
+    floor — or a reference-free population baseline) are pure
+    functions of the trace campaign and the detector
     hyper-parameters, so they are addressed by the campaign's
     :class:`PipelineKey` derived with the ``detector`` label — the
     paper's "golden fingerprint fitted once, reused across every
-    suspect evaluation" made literal.
+    suspect evaluation" made literal.  *detector_name* resolves
+    through :mod:`repro.detectors.registry`; the default keeps the
+    historical Euclidean detector and its exact cache keys.
     """
-    from repro.analysis.euclidean import EuclideanDetector
+    from repro.detectors.registry import create_detector, detector_from_state
 
     if cache is None:
         cache = configured_cache()
     elif cache is False:
         cache = None
     if cache is None:
-        return EuclideanDetector(**detector_kwargs).fit(golden_traces)
+        return create_detector(detector_name, **detector_kwargs).fit(
+            golden_traces
+        )
 
+    derive_kwargs = dict(detector_kwargs)
+    if detector_name != "euclidean":
+        # Only non-default names join the key, so every pre-existing
+        # cached Euclidean detector state stays addressable.
+        derive_kwargs["detector_name"] = detector_name
     key = campaign_pipeline_key(chip, scenario, kind, params).derived(
-        "detector", **detector_kwargs
+        "detector", **derive_kwargs
     )
     state = cache.get_json(key)
     if state is not None:
-        return EuclideanDetector.from_state(state)
-    detector = EuclideanDetector(**detector_kwargs).fit(golden_traces)
+        return detector_from_state(detector_name, state)
+    detector = create_detector(detector_name, **detector_kwargs).fit(
+        golden_traces
+    )
     cache.put_json(key, detector.state_dict())
     return detector

@@ -45,6 +45,7 @@ from repro.experiments.localization import run_localization
 from repro.experiments.result import RunResult
 from repro.experiments.snr import run_snr_experiment
 from repro.experiments.table1 import run_table1
+from repro.experiments.tournament import run_detector_tournament
 from repro.obs import use_metrics
 
 
@@ -393,6 +394,24 @@ def _run_baseline_power(
     return payload, result.format()
 
 
+def _run_tournament(
+    ctx: RunContext,
+    n_reference: int,
+    n_eval: int,
+    n_suspect: int,
+    noise_scales: tuple,
+):
+    result = run_detector_tournament(
+        ctx.chip(),
+        ctx.scenario("sim"),
+        n_reference=n_reference,
+        n_eval=n_eval,
+        n_suspect=n_suspect,
+        noise_scales=tuple(noise_scales),
+    )
+    return result.payload(), result.format()
+
+
 DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
 
 register(ExperimentSpec(
@@ -570,6 +589,39 @@ register(ExperimentSpec(
     smoke_params={"trojans": ("trojan4",), "n_cycles": 24, "grid": 32},
     schema={"located": {"*": "str"}, "hit": {"*": "bool"}},
     paper_ref="Section II (location awareness)",
+))
+
+register(ExperimentSpec(
+    name="detector_tournament",
+    title="ROC/AUC tournament across the detector registry",
+    scenario="sim",
+    runner=_run_tournament,
+    params={
+        "n_reference": 384,
+        "n_eval": 384,
+        "n_suspect": 192,
+        "noise_scales": (0.5, 1.0, 2.0),
+    },
+    smoke_params={
+        "n_reference": 128,
+        "n_eval": 128,
+        "n_suspect": 64,
+        "noise_scales": (1.0,),
+    },
+    schema={
+        "receiver": "str",
+        "noise_scales": ["number"],
+        "scenarios": ["str"],
+        "detectors": {"*": {"reference_free": "bool", "summary": "str"}},
+        "sweep": {"*": {"*": {"*": {
+            "auc": "number",
+            "detected": "bool",
+            "n_neg": "int",
+            "n_pos": "int",
+            "roc": [{"fpr": "number", "tpr": "number"}],
+        }}}},
+    },
+    paper_ref="detector design space (Section VI framing)",
 ))
 
 register(ExperimentSpec(

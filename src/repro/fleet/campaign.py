@@ -31,7 +31,7 @@ from repro.analysis.euclidean import (
 )
 from repro.analysis.spectral import amplitude_spectrum, compare_spectra
 from repro.chip.scenario import simulation_scenario
-from repro.errors import ExperimentError
+from repro.errors import AnalysisError, ExperimentError
 from repro.experiments.campaign import (
     calibrated,
     get_or_fit_detector,
@@ -71,6 +71,9 @@ class FleetConfig:
 
     seed: int = 0
     receiver: str = "sensor"
+    #: Registry name of the window detector, or ``None`` to defer to
+    #: the active config (``REPRO_DETECTOR``).
+    detector: str | None = None
     #: Golden characterisation campaign size (detector fit).
     n_golden: int = 512
     #: Streamed windows per fleet chip.
@@ -209,25 +212,75 @@ class FleetCampaignResult:
         return "\n".join(lines)
 
 
+def oneshot_report(detector, traces: np.ndarray) -> DistanceReport:
+    """One-shot verdict over a delivered trace set, any registry detector.
+
+    Euclidean-family detectors keep their historical
+    :meth:`EuclideanDetector.evaluate` report bit for bit.  Other
+    plugins (the reference-free spectral detectors) are mapped onto the
+    same report shape through their streaming surface: per-window
+    feature distance to the fitted fingerprint against the one-window
+    ``streaming_threshold`` envelope, and the population's mean-feature
+    separation against the full-set envelope — the same statistics
+    their :class:`~repro.framework.monitor.RuntimeMonitor` integration
+    thresholds on.
+    """
+    evaluate = getattr(detector, "evaluate", None)
+    if evaluate is not None:
+        return evaluate(traces)
+    feats = detector.features(traces)
+    d = euclidean_distances(feats, detector.fingerprint)
+    threshold = float(detector.streaming_threshold(1))
+    return DistanceReport(
+        distances=d,
+        threshold=threshold,
+        mean_distance=float(d.mean()),
+        exceed_fraction=float((d > threshold).mean()),
+        separation=float(
+            np.linalg.norm(feats.mean(axis=0) - detector.fingerprint)
+        ),
+        separation_floor=float(detector.streaming_threshold(len(feats))),
+    )
+
+
 class StreamingOneShot:
     """Incremental one-shot evaluation over a streamed campaign.
 
     The replay path scores :meth:`TraceFeed.delivered_traces` through
-    :meth:`EuclideanDetector.evaluate` after the run; a streamed
-    campaign never holds all its windows at once, so this accumulates
-    the same statistics chunk by chunk from the producer's
-    ``on_chunk`` hook.  Each source window is weighted by its delivery
-    count (duplicates count twice, drops zero) — feature extraction
-    and per-row distances are row-independent, so ``exceed_fraction``
-    (integer counts) is *exactly* the replay value and the verdict
-    booleans agree; ``mean_distance``/``separation`` differ only by
-    float summation order (~1 ulp).
+    :func:`oneshot_report` after the run; a streamed campaign never
+    holds all its windows at once, so this accumulates the same
+    statistics chunk by chunk from the producer's ``on_chunk`` hook.
+    Each source window is weighted by its delivery count (duplicates
+    count twice, drops zero) — feature extraction and per-row distances
+    are row-independent for every supported detector, so
+    ``exceed_fraction`` (integer counts) is *exactly* the replay value
+    and the verdict booleans agree; ``mean_distance``/``separation``
+    differ only by float summation order (~1 ulp).
     """
 
-    def __init__(self, detector: EuclideanDetector) -> None:
-        if detector.threshold is None or detector.separation_floor is None:
-            raise ExperimentError(
-                "streaming one-shot needs a fitted detector"
+    def __init__(self, detector) -> None:
+        if getattr(detector, "evaluate", None) is not None:
+            # Euclidean family: Eq. (1) threshold + bootstrap floor.
+            if (
+                detector.threshold is None
+                or detector.separation_floor is None
+            ):
+                raise ExperimentError(
+                    "streaming one-shot needs a fitted detector"
+                )
+            self._row_threshold = float(detector.threshold)
+            self._floor = lambda n: float(detector.separation_floor)
+        else:
+            # Registry plugins: the streaming-envelope statistics of
+            # :func:`oneshot_report`.
+            try:
+                self._row_threshold = float(detector.streaming_threshold(1))
+            except AnalysisError as exc:
+                raise ExperimentError(
+                    "streaming one-shot needs a fitted detector"
+                ) from exc
+            self._floor = lambda n: float(
+                detector.streaming_threshold(max(1, int(round(n))))
             )
         self.detector = detector
         self.weights: dict[str, np.ndarray] = {}
@@ -261,7 +314,7 @@ class StreamingOneShot:
             )
             acc["n"] += total
             acc["dist"] += float(w @ d)
-            acc["exceed"] += float(w @ (d > self.detector.threshold))
+            acc["exceed"] += float(w @ (d > self._row_threshold))
             acc["feat"] += w @ feats
 
     def report(self, chip_id: str) -> DistanceReport:
@@ -275,13 +328,13 @@ class StreamingOneShot:
         mean_feat = acc["feat"] / acc["n"]
         return DistanceReport(
             distances=np.empty(0),
-            threshold=float(self.detector.threshold),
+            threshold=self._row_threshold,
             mean_distance=acc["dist"] / acc["n"],
             exceed_fraction=acc["exceed"] / acc["n"],
             separation=float(
                 np.linalg.norm(mean_feat - self.detector.fingerprint)
             ),
-            separation_floor=float(self.detector.separation_floor),
+            separation_floor=self._floor(acc["n"]),
         )
 
 
@@ -300,15 +353,23 @@ def build_fleet_evaluator(
         receivers=(config.receiver,),
         rng_role="fleet/golden",
     )
+    detector_name = (
+        config.detector
+        if config.detector is not None
+        else active_config().detector
+    )
     detector = get_or_fit_detector(
-        chip, scenario, "ed", params, golden_traces
+        chip, scenario, "ed", params, golden_traces,
+        detector_name=detector_name,
     )
     return RuntimeTrustEvaluator(
         detector=detector,
         golden_spectrum=None,
         fs=chip.config.fs,
         config=EvaluatorConfig(
-            receiver=config.receiver, n_reference=config.n_golden
+            receiver=config.receiver,
+            n_reference=config.n_golden,
+            detector=detector_name,
         ),
     )
 
@@ -571,8 +632,8 @@ def run_fleet_campaign(
         if oneshot_acc is not None:
             oneshot = oneshot_acc.report(chip_id)
         else:
-            oneshot = detector.evaluate(
-                feed_map[chip_id].delivered_traces()
+            oneshot = oneshot_report(
+                detector, feed_map[chip_id].delivered_traces()
             )
         verdicts[chip_id] = ChipVerdict(
             chip_id=chip_id,

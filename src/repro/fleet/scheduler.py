@@ -376,6 +376,16 @@ class FleetScheduler:
             )
         n_workers = self._effective_workers()
         mode = self.scoring_mode()
+        detector = self.sessions[self.order[0]].evaluator.detector
+        if mode == "batched" and not getattr(
+            detector, "supports_batched", True
+        ):
+            # Registry plugins whose scoring is not expressible as the
+            # dense fingerprint-distance engine (population-relative
+            # detectors, spectral features) take the sequential path;
+            # the fallback is counted, never silent.
+            mode = "sequential"
+            self.metrics.counter("fleet.scoring.batched_fallback").inc()
         # Duck-typed on purpose: ProducerTraceSource is the only
         # source exposing .producer, and checking structurally keeps
         # the scheduler import-independent of the streaming layer.

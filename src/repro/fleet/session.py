@@ -33,7 +33,6 @@ import time
 
 import numpy as np
 
-from repro.analysis.euclidean import EuclideanDetector
 from repro.errors import AnalysisError
 from repro.fleet.feed import WindowBatch
 from repro.obs import active_metrics
@@ -43,7 +42,7 @@ from repro.framework.evaluator import RuntimeTrustEvaluator
 from repro.framework.monitor import AlarmEvent, RuntimeMonitor
 
 
-def floor_scaled_threshold(detector: EuclideanDetector, window: int) -> float:
+def floor_scaled_threshold(detector, window: int) -> float:
     """Bootstrap separation floor rescaled to a W-window sliding mean.
 
     The fitted floor bounds the distance two independent half-set
@@ -54,12 +53,20 @@ def floor_scaled_threshold(detector: EuclideanDetector, window: int) -> float:
     bootstrapped (not analytic) envelope to the monitor's geometry:
 
     ``thr(W) = floor * sqrt((1/W + 1/n) * n / 4)``.
+
+    Registry detectors without golden statistics (the reference-free
+    plugins) provide their own window-scaled envelope via
+    ``floor_threshold(window)`` instead.
     """
-    if detector.separation_floor is None or detector.golden_distances is None:
+    floor = getattr(detector, "separation_floor", None)
+    golden = getattr(detector, "golden_distances", None)
+    if floor is None or golden is None:
+        if hasattr(detector, "floor_threshold"):
+            return float(detector.floor_threshold(window))
         raise AnalysisError("detector used before fit()")
-    n = detector.golden_distances.shape[0]
+    n = golden.shape[0]
     scale = math.sqrt((1.0 / window + 1.0 / n) * n / 4.0)
-    return float(detector.separation_floor * scale)
+    return float(floor * scale)
 
 
 class MonitorSession:

@@ -248,10 +248,19 @@ class ShardEngine:
         # hashing balances, it does not guarantee coverage); it then
         # just answers RESULT with empty state.
         if scoring == "batched" and self.order:
-            self._engine = BatchedFleetMonitor(
-                [self.sessions[c] for c in self.order],
-                metrics=self.metrics,
-            )
+            detector = self.sessions[self.order[0]].evaluator.detector
+            if not getattr(detector, "supports_batched", True):
+                # Mirror the front-end scheduler: sequential fallback
+                # for plugins the dense engine cannot score, counted
+                # per shard rather than silently absorbed.
+                self.metrics.counter(
+                    "fleet.scoring.batched_fallback"
+                ).inc()
+            else:
+                self._engine = BatchedFleetMonitor(
+                    [self.sessions[c] for c in self.order],
+                    metrics=self.metrics,
+                )
 
     def _append(self, header: dict) -> None:
         """Attach one streamed chunk segment to every owned chip.

@@ -84,6 +84,15 @@ class BatchedFleetMonitor:
                 "batched scoring requires one shared evaluator across "
                 "the fleet (the golden fingerprint is design-wide)"
             )
+        shared_detector = sessions[0].evaluator.detector
+        if not getattr(shared_detector, "supports_batched", True):
+            # The fleet scheduler checks this itself and falls back to
+            # sequential scoring (counted, not silent); reaching here
+            # means a direct construction with an unsupported plugin.
+            raise AnalysisError(
+                f"detector {type(shared_detector).__name__} does not "
+                "support batched scoring; use sequential mode"
+            )
         windows = {s.monitor.window for s in sessions}
         if len(windows) != 1:
             raise AnalysisError(

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.euclidean import EuclideanDetector
 from repro.errors import AnalysisError
 
 
@@ -42,11 +41,27 @@ class Attribution:
 
 
 class TrojanClassifier:
-    """Nearest-template attribution on top of a fitted detector."""
+    """Nearest-template attribution on top of a fitted detector.
 
-    def __init__(self, detector: EuclideanDetector) -> None:
-        if detector.golden_distances is None:
-            raise AnalysisError("detector must be fitted on golden traces")
+    Works with any fitted registry detector that exposes a reference
+    ``fingerprint`` in its ``features()`` space — the golden-based
+    plugins (mean golden feature vector) and the reference-free ones
+    (population-median spectrum) alike; templates and suspects are
+    always compared as offsets from that detector's own reference.
+    """
+
+    def __init__(self, detector) -> None:
+        try:
+            detector.fingerprint
+        except AnalysisError:
+            raise AnalysisError(
+                "detector must be fitted before classification"
+            ) from None
+        except AttributeError:
+            raise AnalysisError(
+                f"{type(detector).__name__} exposes no fingerprint; "
+                "classification needs a reference feature vector"
+            ) from None
         self.detector = detector
         self._templates: dict[str, np.ndarray] = {}
 

@@ -22,6 +22,7 @@ from repro.analysis.spectral import (
 )
 from repro.chip.chip import Chip
 from repro.chip.scenario import Scenario, simulation_scenario
+from repro.config import active_config
 from repro.errors import AnalysisError
 from repro.experiments.campaign import (
     get_or_fit_detector,
@@ -39,6 +40,9 @@ class EvaluatorConfig:
     spectral_cycles: int = 2048
     spectral_boost_ratio: float = 1.6
     pca_components: int | None = None
+    #: Registry name of the window detector; ``None`` resolves the
+    #: active configuration's ``detector`` knob (``REPRO_DETECTOR``).
+    detector: str | None = None
 
 
 class RuntimeTrustEvaluator:
@@ -80,13 +84,27 @@ class RuntimeTrustEvaluator:
         golden = get_or_generate_traces(chip, scenario, "ed", **ed_params)[
             config.receiver
         ]
+        detector_name = (
+            config.detector
+            if config.detector is not None
+            else active_config().detector
+        )
+        detector_kwargs: dict = {}
+        if detector_name == "euclidean":
+            detector_kwargs["n_components"] = config.pca_components
+        elif config.pca_components is not None:
+            raise AnalysisError(
+                "pca_components only applies to the 'euclidean' "
+                f"detector, not {detector_name!r}"
+            )
         detector = get_or_fit_detector(
             chip,
             scenario,
             "ed",
             ed_params,
             golden,
-            n_components=config.pca_components,
+            detector_name=detector_name,
+            **detector_kwargs,
         )
         record = get_or_generate_traces(
             chip,
@@ -107,6 +125,11 @@ class RuntimeTrustEvaluator:
     # ------------------------------------------------------------------
     def evaluate_traces(self, traces: np.ndarray) -> TrustReport:
         """Time-domain evaluation of per-encryption trace windows."""
+        if not hasattr(self.detector, "evaluate"):
+            raise AnalysisError(
+                "one-shot DistanceReport evaluation needs a golden-"
+                "based detector; use score()/decide() via the registry"
+            )
         report = self.detector.evaluate(traces)
         verdict = combine_verdicts(report.detected, False)
         return TrustReport(verdict=verdict, distance=report)
@@ -139,6 +162,12 @@ class RuntimeTrustEvaluator:
         time_report = None
         spectral = None
         if traces is not None:
+            if not hasattr(self.detector, "evaluate"):
+                raise AnalysisError(
+                    "one-shot DistanceReport evaluation needs a golden-"
+                    "based detector; use score()/decide() via the "
+                    "registry"
+                )
             time_report = self.detector.evaluate(traces)
         if record is not None:
             spectral = self.evaluate_spectrum(record).spectral

@@ -122,14 +122,22 @@ class RuntimeMonitor:
         # error.  Three sigmas of the combined fluctuation is the alarm
         # threshold.
         detector = evaluator.detector
-        if detector.golden_distances is None:
+        golden_distances = getattr(detector, "golden_distances", None)
+        if golden_distances is None and not hasattr(
+            detector, "streaming_threshold"
+        ):
             raise AnalysisError("evaluator's detector is not fitted")
         if threshold is None:
-            d_rms = float(np.sqrt(np.mean(detector.golden_distances**2)))
-            n_golden = detector.golden_distances.shape[0]
-            threshold = float(
-                3.0 * d_rms * np.sqrt(1.0 / window + 1.0 / n_golden)
-            )
+            if golden_distances is not None:
+                d_rms = float(np.sqrt(np.mean(golden_distances**2)))
+                n_golden = golden_distances.shape[0]
+                threshold = float(
+                    3.0 * d_rms * np.sqrt(1.0 / window + 1.0 / n_golden)
+                )
+            else:
+                # Reference-free detectors carry their own population-
+                # calibrated envelope for the W-window sliding mean.
+                threshold = float(detector.streaming_threshold(window))
         elif threshold <= 0:
             raise AnalysisError(f"threshold must be > 0, got {threshold}")
         self.threshold = float(threshold)

@@ -27,14 +27,14 @@ from repro.chip import simulation_scenario
 EXPECTED_EXPERIMENTS = {
     "table1", "snr", "snr_silicon", "euclidean", "fig4",
     "fig6_histograms", "fig6_spectra", "latency", "ablation",
-    "leakage", "localization", "baseline_power",
+    "leakage", "localization", "baseline_power", "detector_tournament",
 }
 
 
 class TestRegistry:
-    def test_all_twelve_experiments_registered(self):
+    def test_all_thirteen_experiments_registered(self):
         assert set(REGISTRY) == EXPECTED_EXPERIMENTS
-        assert len(all_specs()) == 12
+        assert len(all_specs()) == 13
 
     def test_specs_are_well_formed(self):
         for spec in all_specs():

@@ -16,7 +16,20 @@ class TestList:
         out = capsys.readouterr().out
         for name in REGISTRY:
             assert name in out
-        assert "12 experiments" in out
+        assert "13 experiments" in out
+
+
+class TestDetectors:
+    def test_lists_every_detector(self, capsys):
+        from repro.detectors import detector_names
+
+        assert main(["detectors"]) == 0
+        out = capsys.readouterr().out
+        for name in detector_names():
+            assert name in out
+        assert "4 detectors" in out
+        assert "REPRO_DETECTOR" in out
+        assert "detector_tournament" in out
 
 
 class TestRun:

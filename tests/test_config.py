@@ -15,6 +15,7 @@ from repro.config import (
     CACHE_DIR_ENV,
     CACHE_MB_ENV,
     CHUNK_ENV_VAR,
+    DETECTOR_ENV_VAR,
     DEFAULT_CACHE_MB,
     DEFAULT_CHUNK_BYTES,
     DEFAULT_FLEET_INGEST_DEPTH,
@@ -54,6 +55,7 @@ class TestPrecedence:
         assert cfg.fleet_shards == 1
         assert cfg.fleet_ingest_depth == DEFAULT_FLEET_INGEST_DEPTH
         assert cfg.fleet_transport == "auto"
+        assert cfg.detector == "euclidean"
         assert cfg.host_cpus >= 1
 
     def test_environment_beats_default(self):
@@ -69,6 +71,7 @@ class TestPrecedence:
             FLEET_SHARDS_ENV_VAR: "4",
             FLEET_INGEST_DEPTH_ENV_VAR: "32",
             FLEET_TRANSPORT_ENV_VAR: "inline",
+            DETECTOR_ENV_VAR: "spectral_median",
         })
         assert cfg.workers == 3
         assert cfg.force_pool is True
@@ -81,6 +84,13 @@ class TestPrecedence:
         assert cfg.fleet_shards == 4
         assert cfg.fleet_ingest_depth == 32
         assert cfg.fleet_transport == "inline"
+        assert cfg.detector == "spectral_median"
+
+    def test_detector_argument_beats_environment(self):
+        cfg = ReproConfig.resolve(
+            environ={DETECTOR_ENV_VAR: "spectral"}, detector="persistence"
+        )
+        assert cfg.detector == "persistence"
 
     def test_argument_beats_environment(self):
         cfg = ReproConfig.resolve(
@@ -158,6 +168,14 @@ class TestValidation:
             ReproConfig(fleet_transport="tcp")
         with pytest.raises(ConfigError):
             ReproConfig(fleet_shards=True)
+
+    def test_empty_detector_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            ReproConfig(detector="")
+        with pytest.raises(ConfigError, match="non-empty"):
+            ReproConfig.resolve(environ={DETECTOR_ENV_VAR: ""})
+        with pytest.raises(ConfigError, match="non-empty"):
+            ReproConfig(detector=42)
 
     def test_non_integer_cache_mb(self):
         with pytest.raises(ExperimentError, match="not an integer"):
