@@ -10,7 +10,12 @@ silicon with process variation, packaging and an oscilloscope).
 """
 
 from repro.chip.config import ChipConfig
-from repro.chip.scenario import Scenario, silicon_scenario, simulation_scenario
+from repro.chip.scenario import (
+    Scenario,
+    array_scenario,
+    silicon_scenario,
+    simulation_scenario,
+)
 from repro.chip.oscilloscope import Oscilloscope
 from repro.chip.chip import Chip, Receiver, build_protected_chip
 from repro.chip.acquire import (
@@ -23,6 +28,7 @@ from repro.chip.acquire import (
 __all__ = [
     "ChipConfig",
     "Scenario",
+    "array_scenario",
     "silicon_scenario",
     "simulation_scenario",
     "Oscilloscope",

@@ -206,6 +206,17 @@ class AcquisitionResult:
     def n_samples(self) -> int:
         return next(iter(self.traces.values())).shape[1]
 
+    def stacked(self, names: "tuple[str, ...] | list[str]") -> np.ndarray:
+        """Channel-stacked traces, shape ``(batch, len(names), n_samples)``.
+
+        The multi-channel view a sensor-array consumer wants: pass a
+        channel group (e.g. ``chip.receiver_groups["array"]``) to get
+        every coil's trace from the one shared simulation pass.
+        """
+        if not names:
+            raise MeasurementError("stacked() needs at least one receiver name")
+        return np.stack([self.traces[name] for name in names], axis=1)
+
     @cached_property
     def time(self) -> np.ndarray:
         """Sample time axis [s] (built once, cached on the instance)."""
@@ -390,7 +401,7 @@ class AcquisitionEngine:
                     n_samples,
                     batch,
                     include_noise,
-                    rng,
+                    self._channel_rng(name, rng, rng_role),
                 )
         public_recorded = {
             label: arr
@@ -570,7 +581,7 @@ class AcquisitionEngine:
                         n_samples,
                         m.batch,
                         include_noise,
-                        rng,
+                        self._channel_rng(name, rng, m.rng_role),
                     )
                 results[m.name] = AcquisitionResult(
                     traces=traces,
@@ -584,6 +595,27 @@ class AcquisitionEngine:
                     },
                 )
         return results
+
+    # ------------------------------------------------------------------
+    def _channel_rng(
+        self, name: str, shared: np.random.Generator, rng_role: str
+    ) -> np.random.Generator:
+        """Noise/scope stream for receiver *name*.
+
+        Standalone receivers (``sensor``/``probe``/``power``) keep the
+        legacy behaviour: one stream per campaign, consumed in receiver
+        order — changing that would change every archived single-coil
+        trace bit pattern.  Channel-group members instead derive an
+        independent stream keyed by the channel name, so acquiring any
+        subset of an array's coils yields bitwise the same samples per
+        coil as acquiring them all (or each solo).
+        """
+        if self.chip.receivers[name].group is None:
+            return shared
+        return derive(
+            self.chip.seed ^ self.scenario.seed,
+            f"{rng_role}/{self.scenario.name}/{name}",
+        )
 
     # ------------------------------------------------------------------
     def _run_cycles_blocked(

@@ -22,7 +22,7 @@ import numpy as np
 from repro.chip.config import ChipConfig
 from repro.crypto.aes_circuit import AesCircuit, build_aes_circuit
 from repro.em.probe import ExternalProbe
-from repro.em.sensor import OnChipSensor
+from repro.em.sensor import OnChipSensor, SensorArray
 from repro.errors import ExperimentError
 from repro.layout.current_map import (
     CurrentMap,
@@ -80,6 +80,13 @@ class Receiver:
     #: the *derivative* of the current ("emf"); a shunt-based power
     #: monitor sees the current itself ("current").
     sense: str = "emf"
+    #: Channel-group membership: ``None`` for the standalone receivers
+    #: (``sensor``/``probe``/``power``, whose acquisition noise keeps
+    #: the legacy shared RNG stream for bit-identity) or the group name
+    #: (e.g. ``"array"``) for multi-channel members, whose noise comes
+    #: from a per-channel derived stream so any subset of the group can
+    #: be acquired without changing the other channels' samples.
+    group: str | None = None
 
 
 class Chip:
@@ -142,11 +149,34 @@ class Chip:
         )
         self.q_clock = clock_charges(netlist, self.sim.instance_names, tech)
 
+        self.sensor_array: SensorArray | None = None
+        if bool(config.sensor_array_rows) != bool(config.sensor_array_cols):
+            raise ExperimentError(
+                "sensor_array_rows and sensor_array_cols must both be set "
+                f"(or both 0); got {config.sensor_array_rows}x"
+                f"{config.sensor_array_cols}"
+            )
+        if config.sensor_array_rows:
+            self.sensor_array = SensorArray.design_grid(
+                self.floorplan.die,
+                tech,
+                rows=config.sensor_array_rows,
+                cols=config.sensor_array_cols,
+                turns=config.sensor_array_turns,
+                trace_width=config.sensor_array_trace_width,
+                edge_margin=config.sensor_array_edge_margin,
+            )
+
         self.receivers: dict[str, Receiver] = {}
+        #: Channel groups: every receiver name appears in exactly one
+        #: group; standalone receivers are singleton groups.
+        self.receiver_groups: dict[str, tuple[str, ...]] = {}
         self._install_receiver("sensor", self.sensor, external=False)
         self._install_receiver("probe", self.probe, external=True)
         if config.include_power_monitor:
             self._install_power_monitor()
+        if self.sensor_array is not None:
+            self._install_channel_group("array", self.sensor_array)
 
     # ------------------------------------------------------------------
     # Construction
@@ -201,18 +231,64 @@ class Chip:
         )
 
     def _install_receiver(self, name: str, coil, external: bool) -> None:
+        """Install a standalone (singleton-group) receiver."""
         coupling_seg = coil.coupling(
             self.grid.seg_start,
             self.grid.seg_end,
             n_quad=self.config.coupling_quadrature,
         )
+        resistance = coil.resistance() if hasattr(coil, "resistance") else 0.5
+        self.receivers[name] = self._receiver_from_coupling(
+            name,
+            coupling_seg,
+            effective_area=coil.effective_area(),
+            resistance=resistance,
+            external=external,
+        )
+        self.receiver_groups[name] = (name,)
+
+    def _install_channel_group(self, group: str, array: SensorArray) -> None:
+        """Install every coil of *array* as one channel group.
+
+        A single batched :meth:`SensorArray.coupling` pass yields the
+        whole ``(coils, segments)`` tensor; each row then goes through
+        the exact same cell/tap weighting as a standalone receiver.
+        """
+        coupling = array.coupling(
+            self.grid.seg_start,
+            self.grid.seg_end,
+            n_quad=self.config.coupling_quadrature,
+        )
+        names = array.channel_names(group)
+        for row, name, coil in zip(coupling, names, array.coils):
+            if name in self.receivers:
+                raise ExperimentError(f"duplicate receiver name {name!r}")
+            self.receivers[name] = self._receiver_from_coupling(
+                name,
+                row,
+                effective_area=coil.effective_area(),
+                resistance=coil.resistance(),
+                external=False,
+                group=group,
+            )
+        self.receiver_groups[group] = tuple(names)
+
+    def _receiver_from_coupling(
+        self,
+        name: str,
+        coupling_seg: np.ndarray,
+        effective_area: float,
+        resistance: float,
+        external: bool,
+        group: str | None = None,
+    ) -> Receiver:
+        """Per-segment coupling → fully weighted :class:`Receiver`."""
         cell_coupling = self.current_map.cell_weights(coupling_seg)
         tap_coupling: dict[int, float] = {}
         for i, tap in enumerate(self.taps):
             tap_coupling[i] = position_coupling(
                 self.grid, coupling_seg, *self._tap_position(tap)
             )
-        resistance = coil.resistance() if hasattr(coil, "resistance") else 0.5
         package_coupling = (
             self.config.package_loop_coupling if external else 0.0
         )
@@ -221,14 +297,15 @@ class Chip:
             tap_coupling = {
                 i: m + package_coupling for i, m in tap_coupling.items()
             }
-        self.receivers[name] = Receiver(
+        return Receiver(
             name=name,
             cell_coupling=cell_coupling,
-            effective_area=coil.effective_area(),
+            effective_area=effective_area,
             resistance=resistance,
             external=external,
             tap_coupling=tap_coupling,
             package_coupling=package_coupling,
+            group=group,
         )
 
     def _install_power_monitor(self) -> None:
@@ -252,6 +329,7 @@ class Chip:
             package_coupling=0.0,
             sense="current",
         )
+        self.receiver_groups["power"] = ("power",)
 
     def _tap_position(self, tap: AnalogTap) -> tuple[float, float]:
         """Physical location of an analog tap's current loop.
@@ -286,6 +364,8 @@ class Chip:
             self.probe.describe(),
             f"power grid: {self.grid.n_segments} segments",
         ]
+        if self.sensor_array is not None:
+            lines.append(self.sensor_array.describe())
         return "\n".join(lines)
 
 

@@ -46,6 +46,19 @@ class ChipConfig:
     sensor_trace_width: float = 4.0 * UM
     sensor_edge_margin: float = 10 * UM
 
+    # ----- optional sensor array (programmable coil grid) ------------
+    #: Rows/cols of the sub-coil grid; 0x0 (the default) installs no
+    #: array, keeping the single-coil build byte-identical to the
+    #: paper's chip.  Any non-zero grid adds ``array.r{r}c{c}``
+    #: receiver channels alongside ``sensor``/``probe``.
+    sensor_array_rows: int = 0
+    sensor_array_cols: int = 0
+    #: Turns per sub-coil (tiles are small; 12 full-die turns would
+    #: violate pitch >= 2w inside one tile).
+    sensor_array_turns: int = 3
+    sensor_array_trace_width: float = 2.0 * UM
+    sensor_array_edge_margin: float = 4.0 * UM
+
     # ----- external probe (Fig. 2a) ----------------------------------
     probe_standoff: float = 100 * UM
     probe_radius: float = 1.2 * MM

@@ -115,6 +115,29 @@ def simulation_scenario(seed: int = 0) -> Scenario:
     )
 
 
+def array_scenario(rows: int = 4, cols: int = 4, seed: int = 0) -> Scenario:
+    """Sensor-array localization runs: simulation-grade acquisition.
+
+    The array follow-up (programmable coil grid) is evaluated in the
+    same layout-level simulation regime as Section IV — no process
+    variation, white ambient noise — but the scenario *name* carries
+    the grid dimensions so trace-cache keys and RNG streams for
+    different array shapes can never collide.  The matching chip build
+    is ``ChipConfig(sensor_array_rows=rows, sensor_array_cols=cols)``.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"array scenario needs rows, cols >= 1, got {rows}x{cols}")
+    return Scenario(
+        name=f"array{rows}x{cols}",
+        env_noise=EnvironmentNoise(SIMULATION_B_DOT_RMS),
+        process_sigma=0.0,
+        probe_attenuation=1.0,
+        probe_env_factor=1.0,
+        oscilloscope=None,
+        seed=seed,
+    )
+
+
 def silicon_scenario(seed: int = 0) -> Scenario:
     """Section V: fabricated chip on the bench, measured by a scope."""
     return Scenario(

@@ -12,8 +12,8 @@ One entry point for everything the repo reproduces:
     run selected experiments and write one validated
     :class:`~repro.experiments.result.RunResult` JSON artifact each;
 ``repro run --all --smoke``
-    the CI ``cli-smoke`` sweep — all twelve experiments at reduced
-    sizes;
+    the CI ``cli-smoke`` sweep — every registered experiment at
+    reduced sizes;
 ``repro fleet ...``
     the fleet monitoring campaign (the old ``repro-fleet`` script,
     which remains as a deprecated alias).
@@ -75,12 +75,30 @@ def _parser() -> argparse.ArgumentParser:
     return p
 
 
+def _schema_summary(schema) -> str:
+    """One-line sketch of a payload schema: top-level keys with their
+    node kinds (``dict``/``list``/scalar name), ``-`` when undeclared."""
+    if not schema:
+        return "-"
+
+    def kind(node) -> str:
+        if isinstance(node, dict):
+            return "{...}"
+        if isinstance(node, list):
+            return "[...]"
+        return str(node)
+
+    return ", ".join(f"{key}:{kind(node)}" for key, node in schema.items())
+
+
 def _cmd_list() -> int:
     specs = all_specs()
     width = max(len(s.name) for s in specs)
     print(f"{'experiment':<{width}}  {'scenario':<8}  description")
     for spec in specs:
         print(f"{spec.name:<{width}}  {spec.scenario:<8}  {spec.title}")
+        print(f"{'':<{width}}  {'':<8}  payload: "
+              f"{_schema_summary(spec.schema)}")
     print(f"\n{len(specs)} experiments; run with "
           f"`repro run <name>` or `repro run --all --smoke`")
     return 0

@@ -86,6 +86,10 @@ FLEET_INGEST_ENV_VAR = "REPRO_FLEET_INGEST"
 #: Default detector plugin name (see ``repro detectors``).
 DETECTOR_ENV_VAR = "REPRO_DETECTOR"
 
+#: Sensor-array grid for array experiments, as ``RxC`` (e.g. ``4x4``);
+#: unset/empty = no override (specs use their own default grid).
+SENSOR_ARRAY_ENV_VAR = "REPRO_SENSOR_ARRAY"
+
 # -- built-in defaults -------------------------------------------------
 
 #: Default cap on an EM kernel's transient broadcast buffers [bytes].
@@ -140,6 +144,33 @@ def _parse_cache_mb(raw: str) -> int:
         raise ExperimentError(
             f"{CACHE_MB_ENV}={raw!r} is not an integer"
         ) from None
+
+
+def parse_sensor_array(raw: str) -> str | None:
+    """Validate a ``RxC`` sensor-array grid string (empty = unset).
+
+    Returns the canonical ``"{rows}x{cols}"`` form, so ``04x4`` and
+    ``4x4`` resolve to equal configs (and equal cache keys).
+    """
+    if not raw:
+        return None
+    parts = raw.lower().split("x")
+    if len(parts) != 2:
+        raise ConfigError(
+            f"{SENSOR_ARRAY_ENV_VAR}={raw!r} is not of the form RxC "
+            "(e.g. 4x4)"
+        )
+    try:
+        rows, cols = (int(p) for p in parts)
+    except ValueError:
+        raise ConfigError(
+            f"{SENSOR_ARRAY_ENV_VAR}={raw!r} has non-integer dimensions"
+        ) from None
+    if rows < 1 or cols < 1:
+        raise ConfigError(
+            f"{SENSOR_ARRAY_ENV_VAR}={raw!r}: rows and cols must be >= 1"
+        )
+    return f"{rows}x{cols}"
 
 
 def _parse_int_env(env_var: str):
@@ -204,6 +235,11 @@ class ReproConfig:
     #: time, not here — the registry populates on package import and
     #: the config must stay importable without it.
     detector: str = "euclidean"
+    #: Sensor-array grid override for array experiments, canonical
+    #: ``"RxC"`` or ``None`` (no override).  Like :attr:`detector`, the
+    #: value selects among registered experiment geometries; the chip
+    #: build validates whether the grid physically fits the die.
+    sensor_array: str | None = None
     #: Host CPU count snapshot; ``0`` means "detect now".  The
     #: single-CPU pool auto-degrade decision is taken from this field,
     #: once, instead of re-reading ``os.cpu_count()`` at every
@@ -283,6 +319,15 @@ class ReproConfig:
             raise ConfigError(
                 f"detector must be a non-empty string, got {self.detector!r}"
             )
+        if self.sensor_array is not None:
+            if not isinstance(self.sensor_array, str):
+                raise ConfigError(
+                    f"sensor_array must be a str or None, "
+                    f"got {self.sensor_array!r}"
+                )
+            object.__setattr__(
+                self, "sensor_array", parse_sensor_array(self.sensor_array)
+            )
         if not isinstance(self.host_cpus, int) or isinstance(
             self.host_cpus, bool
         ):
@@ -349,6 +394,7 @@ class ReproConfig:
         from_env("fleet_transport", FLEET_TRANSPORT_ENV_VAR, str)
         from_env("fleet_ingest", FLEET_INGEST_ENV_VAR, str)
         from_env("detector", DETECTOR_ENV_VAR, str)
+        from_env("sensor_array", SENSOR_ARRAY_ENV_VAR, parse_sensor_array)
         return cls(**values)
 
     # -- derived views -------------------------------------------------
@@ -368,6 +414,13 @@ class ReproConfig:
     def effective_workers(self) -> int:
         """The resolved worker count (``workers`` or one per CPU)."""
         return self.workers if self.workers is not None else self.host_cpus
+
+    def sensor_array_dims(self) -> tuple[int, int] | None:
+        """The ``(rows, cols)`` of :attr:`sensor_array`, or ``None``."""
+        if self.sensor_array is None:
+            return None
+        rows, cols = self.sensor_array.split("x")
+        return int(rows), int(cols)
 
     def cache_bytes(self) -> int | None:
         """Cache size budget in bytes, or ``None`` when the cache is off."""

@@ -16,17 +16,19 @@ SNR definition (Eqs. (2)/(3)).
 * :mod:`~repro.em.snr` — RMS-voltage SNR per the paper.
 """
 
-from repro.em.mutual import mutual_inductance_to_loop
+from repro.em.mutual import mutual_inductance_to_loop, mutual_inductance_to_loops
 from repro.em.biot_savart import b_field_of_segments
-from repro.em.sensor import OnChipSensor
+from repro.em.sensor import OnChipSensor, SensorArray
 from repro.em.probe import ExternalProbe
 from repro.em.noise import EnvironmentNoise, thermal_noise_rms, white_noise
 from repro.em.snr import SnrResult, measure_snr, rms, snr_db, snr_voltage
 
 __all__ = [
     "mutual_inductance_to_loop",
+    "mutual_inductance_to_loops",
     "b_field_of_segments",
     "OnChipSensor",
+    "SensorArray",
     "ExternalProbe",
     "EnvironmentNoise",
     "thermal_noise_rms",

@@ -12,6 +12,7 @@ difference map.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -31,10 +32,17 @@ class FieldMap:
     magnitude: np.ndarray  # (ny, nx) field magnitude [T]
 
     def hotspot(self) -> tuple[float, float]:
-        """(x, y) of the strongest field point."""
-        iy, ix = np.unravel_index(
-            int(np.argmax(self.magnitude)), self.magnitude.shape
-        )
+        """(x, y) of the strongest field point.
+
+        Ties break deterministically on the **lowest flat (row-major)
+        index** — i.e. the bottom-most row, then left-most column, of
+        the tied maxima — so localization verdicts are reproducible on
+        the symmetric maps small grids produce.
+        """
+        flat = np.asarray(self.magnitude, dtype=np.float64).ravel()
+        # np.argmax returns the first (lowest flat index) maximum, but
+        # state the contract explicitly rather than lean on it.
+        iy, ix = np.unravel_index(int(np.argmax(flat)), self.magnitude.shape)
         return float(self.xs[ix]), float(self.ys[iy])
 
     def region_mean(self, rect) -> float:
@@ -44,6 +52,78 @@ class FieldMap:
         if not mask_x.any() or not mask_y.any():
             raise EmModelError("rectangle does not intersect the map grid")
         return float(self.magnitude[np.ix_(mask_y, mask_x)].mean())
+
+    # -- storable grid exports -----------------------------------------
+    def as_payload(self) -> dict:
+        """JSON-encodable grid export (a ``RunResult`` payload node).
+
+        Plain nested lists — ``{"xs": [...], "ys": [...],
+        "magnitude": [[...]]}`` — so heatmaps ride inside experiment
+        artifacts and survive the canonical-JSON round trip bit-for-bit
+        (float64 → JSON → float64 is exact for finite values).
+        """
+        return {
+            "xs": [float(v) for v in self.xs],
+            "ys": [float(v) for v in self.ys],
+            "magnitude": [[float(v) for v in row] for row in self.magnitude],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FieldMap":
+        """Inverse of :meth:`as_payload`."""
+        try:
+            xs = np.asarray(payload["xs"], dtype=np.float64)
+            ys = np.asarray(payload["ys"], dtype=np.float64)
+            magnitude = np.asarray(payload["magnitude"], dtype=np.float64)
+        except (KeyError, TypeError, ValueError) as err:
+            raise EmModelError(f"malformed field-map payload: {err}") from None
+        if magnitude.shape != (ys.size, xs.size):
+            raise EmModelError(
+                f"field-map payload shape mismatch: magnitude "
+                f"{magnitude.shape} vs grid ({ys.size}, {xs.size})"
+            )
+        return cls(xs=xs, ys=ys, magnitude=magnitude)
+
+    def save(self, path) -> "Path":
+        """Write the grid as ``<path>.npy`` plus a ``<path>.json`` axis
+        sidecar; returns the ``.npy`` path.  Writes are atomic renames,
+        like every other artifact writer in the repo."""
+        import io as _io
+        import json as _json
+
+        from repro.io.store import _atomic_write_bytes
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        npy = path.with_suffix(".npy")
+        buf = _io.BytesIO()
+        np.save(buf, np.asarray(self.magnitude, dtype=np.float64))
+        _atomic_write_bytes(npy, buf.getvalue())
+        sidecar = {
+            "xs": [float(v) for v in self.xs],
+            "ys": [float(v) for v in self.ys],
+        }
+        _atomic_write_bytes(
+            path.with_suffix(".json"),
+            _json.dumps(sidecar, sort_keys=True).encode("utf-8"),
+        )
+        return npy
+
+    @classmethod
+    def load(cls, path) -> "FieldMap":
+        """Inverse of :meth:`save` (accepts the ``.npy`` or base path)."""
+        import json as _json
+
+        path = Path(path)
+        magnitude = np.load(path.with_suffix(".npy"))
+        sidecar = _json.loads(
+            path.with_suffix(".json").read_text(encoding="utf-8")
+        )
+        return cls(
+            xs=np.asarray(sidecar["xs"], dtype=np.float64),
+            ys=np.asarray(sidecar["ys"], dtype=np.float64),
+            magnitude=np.asarray(magnitude, dtype=np.float64),
+        )
 
     def render(self, width: int = 48, height: int = 24) -> str:
         """ASCII heat map (darker character = stronger field)."""

@@ -160,6 +160,136 @@ def mutual_inductance_to_loop(
     return MU_0 / (4.0 * math.pi) * result
 
 
+def mutual_inductance_to_loops(
+    seg_start: np.ndarray,
+    seg_end: np.ndarray,
+    loops: "list[np.ndarray] | tuple[np.ndarray, ...]",
+    n_quad: int = 4,
+    min_distance: float = 0.5 * UM,
+    chunk_bytes: int | None = None,
+) -> np.ndarray:
+    """Mutual inductance of each source segment to *each* coil polyline.
+
+    The batched companion to :func:`mutual_inductance_to_loop` for
+    sensor arrays: all coils' segments are concatenated into one
+    quadrature-point cloud, so every source chunk needs a single
+    ``(S*A, 3) @ (3, C_tot*B)`` product regardless of how many coils
+    tile the die, and the per-coil sums fall out of one
+    ``reduceat`` over the coil boundaries.  Calling the single-loop
+    kernel per coil remains the 1e-12 reference (the only difference
+    is the centring constant, whose rounding the risky-pair exact
+    recompute keeps below that tolerance).
+
+    Parameters
+    ----------
+    seg_start, seg_end:
+        Source segments, shape ``(N, 3)`` each [m].
+    loops:
+        Sequence of coil polylines, each shape ``(M_k, 3)``.
+    n_quad, min_distance, chunk_bytes:
+        As for :func:`mutual_inductance_to_loop`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Coupling tensor, shape ``(len(loops), N)`` [H].
+    """
+    s0 = np.asarray(seg_start, dtype=np.float64)
+    s1 = np.asarray(seg_end, dtype=np.float64)
+    if s0.shape != s1.shape or s0.ndim != 2 or s0.shape[1] != 3:
+        raise EmModelError(
+            f"segment arrays must both be (N, 3); got {s0.shape} and {s1.shape}"
+        )
+    if len(loops) == 0:
+        raise EmModelError("mutual_inductance_to_loops needs at least one loop")
+    if min_distance <= 0:
+        raise EmModelError(f"min_distance must be positive, got {min_distance}")
+
+    u, w = _gauss01(n_quad)
+    n_src = s0.shape[0]
+    n_loops = len(loops)
+    result = np.zeros((n_loops, n_src))
+    if n_src == 0:
+        return result
+
+    # Concatenate every coil's segments, remembering which coil each
+    # belongs to so reduceat can split the per-segment sums back out.
+    c0_parts: list[np.ndarray] = []
+    d_parts: list[np.ndarray] = []
+    counts = np.zeros(n_loops, dtype=np.intp)
+    for k, loop_points in enumerate(loops):
+        loop = np.asarray(loop_points, dtype=np.float64)
+        if loop.ndim != 2 or loop.shape[1] != 3 or loop.shape[0] < 2:
+            raise EmModelError(
+                f"loop polyline {k} must be (M>=2, 3), got {loop.shape}"
+            )
+        c0 = loop[:-1]
+        d_coil = loop[1:] - c0
+        keep = np.linalg.norm(d_coil, axis=1) > 0
+        c0, d_coil = c0[keep], d_coil[keep]
+        counts[k] = c0.shape[0]
+        c0_parts.append(c0)
+        d_parts.append(d_coil)
+    n_coil = int(counts.sum())
+    if n_coil == 0:
+        return result
+    # Degenerate (all-zero-length) coils would break the reduceat
+    # boundaries, so batch only the live ones and scatter rows back.
+    live = np.nonzero(counts > 0)[0]
+    c0_all = np.concatenate([c0_parts[k] for k in live], axis=0)
+    d_all = np.concatenate([d_parts[k] for k in live], axis=0)
+    live_counts = counts[live]
+    starts = np.concatenate(([0], np.cumsum(live_counts)[:-1])).astype(np.intp)
+
+    d_src = s1 - s0
+    dots = d_src @ d_all.T  # (N, C_tot)
+    n_a = u.size
+    p_coil = (
+        c0_all[:, None, :] + u[None, :, None] * d_all[:, None, :]
+    ).reshape(n_coil * n_a, 3)
+    ww = w[:, None] * w[None, :]
+
+    center = 0.5 * (p_coil.min(axis=0) + p_coil.max(axis=0))
+    pc = p_coil - center
+    pc2 = np.einsum("ij,ij->i", pc, pc)
+    pc_t2 = -2.0 * pc.T
+    md2 = min_distance * min_distance
+    coil_scale2 = pc2.max(initial=0.0)
+
+    step = rows_per_chunk(
+        6 * 8 * n_a * n_coil * n_a,
+        chunk_bytes,
+        target_bytes=CACHE_CHUNK_BYTES,
+    )
+    for lo in range(0, n_src, step):
+        hi = lo + step
+        p_src = (
+            s0[lo:hi, None, :] + u[None, :, None] * d_src[lo:hi, None, :]
+        ).reshape(-1, 3)
+        ps = p_src - center
+        ps2 = np.einsum("ij,ij->i", ps, ps)
+        d2 = ps @ pc_t2
+        d2 += ps2[:, None]
+        d2 += pc2[None, :]
+        scale2 = max(ps2.max(initial=0.0), coil_scale2)
+        thresh = max(md2, 1e-3 * scale2)
+        risky = d2 < thresh
+        if risky.any():
+            ri, ci = np.nonzero(risky)
+            diff = p_src[ri] - p_coil[ci]
+            d2[ri, ci] = np.einsum("ij,ij->i", diff, diff)
+        np.maximum(d2, md2, out=d2)
+        np.sqrt(d2, out=d2)
+        np.divide(1.0, d2, out=d2)
+        kernel = np.einsum(
+            "ab,sacb->sc", ww, d2.reshape(-1, n_a, n_coil, n_a)
+        )
+        contrib = dots[lo:hi] * kernel  # (S, C_tot)
+        per_loop = np.add.reduceat(contrib, starts, axis=1)  # (S, n_live)
+        result[np.ix_(live, np.arange(lo, min(hi, n_src)))] = per_loop.T
+    return MU_0 / (4.0 * math.pi) * result
+
+
 def _mutual_inductance_to_loop_loop(
     seg_start: np.ndarray,
     seg_end: np.ndarray,

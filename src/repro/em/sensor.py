@@ -19,7 +19,7 @@ import numpy as np
 from repro.errors import EmModelError, TechnologyError
 from repro.layout.geometry import Rect, enclosed_area, polyline_length, rectangular_spiral
 from repro.layout.technology import Technology
-from repro.em.mutual import mutual_inductance_to_loop
+from repro.em.mutual import mutual_inductance_to_loop, mutual_inductance_to_loops
 from repro.units import UM
 
 
@@ -121,4 +121,135 @@ class OnChipSensor:
             f"width {self.trace_width * um:.1f} um on {self.layer_name}, "
             f"length {self.length() * 1e3:.2f} mm, R = {self.resistance():.1f} ohm, "
             f"A_eff = {self.effective_area() * 1e6:.3f} mm^2-turns"
+        )
+
+
+@dataclass
+class SensorArray:
+    """An N×M grid of smaller spiral coils tiling the die.
+
+    The programmable sensor-array follow-up replaces the one full-die
+    spiral with selectable sub-coils; each sub-coil sees mostly the
+    current loops under its own tile, which is what turns detection
+    into localization.  Every coil is a full :class:`OnChipSensor`
+    (same layer, same DRC checks), just designed inside its tile
+    instead of the whole die.
+
+    Coils are stored row-major: ``coils[r * cols + c]`` covers tile
+    ``(r, c)``, with row 0 at the *bottom* of the die (lowest y) and
+    column 0 at the left, matching floorplan coordinates.
+    """
+
+    rows: int
+    cols: int
+    coils: list[OnChipSensor]
+    tiles: list[Rect]
+    die: Rect
+
+    @classmethod
+    def design_grid(
+        cls,
+        die: Rect,
+        tech: Technology,
+        rows: int,
+        cols: int,
+        turns: int = 3,
+        trace_width: float = 2.0 * UM,
+        edge_margin: float = 4.0 * UM,
+    ) -> "SensorArray":
+        """Tile *die* with ``rows x cols`` sub-coils.
+
+        Each tile gets its own :meth:`OnChipSensor.design` call, so the
+        per-tile pitch/width validation (minimum width, pitch >= 2w)
+        applies to the sub-coils exactly as to the full-die spiral.
+        """
+        if rows < 1 or cols < 1:
+            raise EmModelError(
+                f"sensor array needs rows >= 1 and cols >= 1, got {rows}x{cols}"
+            )
+        tile_w = die.width / cols
+        tile_h = die.height / rows
+        coils: list[OnChipSensor] = []
+        tiles: list[Rect] = []
+        for r in range(rows):
+            for c in range(cols):
+                tile = Rect(
+                    die.x0 + c * tile_w,
+                    die.y0 + r * tile_h,
+                    die.x0 + (c + 1) * tile_w,
+                    die.y0 + (r + 1) * tile_h,
+                )
+                coils.append(
+                    OnChipSensor.design(
+                        tile,
+                        tech,
+                        turns=turns,
+                        trace_width=trace_width,
+                        edge_margin=edge_margin,
+                    )
+                )
+                tiles.append(tile)
+        return cls(rows=rows, cols=cols, coils=coils, tiles=tiles, die=die)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def channel_names(self, prefix: str = "array") -> list[str]:
+        """Row-major channel names, ``{prefix}.r{r}c{c}``."""
+        return [
+            f"{prefix}.r{r}c{c}"
+            for r in range(self.rows)
+            for c in range(self.cols)
+        ]
+
+    def coil_at(self, row: int, col: int) -> OnChipSensor:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise EmModelError(
+                f"coil ({row}, {col}) outside {self.rows}x{self.cols} array"
+            )
+        return self.coils[row * self.cols + col]
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Grid cell ``(row, col)`` containing die point ``(x, y)``.
+
+        Points outside the die clamp to the nearest edge cell.
+        """
+        c = int((x - self.die.x0) / self.die.width * self.cols)
+        r = int((y - self.die.y0) / self.die.height * self.rows)
+        return (
+            min(max(r, 0), self.rows - 1),
+            min(max(c, 0), self.cols - 1),
+        )
+
+    def centers(self) -> np.ndarray:
+        """Tile centres, shape ``(rows*cols, 2)`` [m], row-major."""
+        return np.array([tile.center for tile in self.tiles])
+
+    # ------------------------------------------------------------------
+    # Electromagnetics
+    # ------------------------------------------------------------------
+    def coupling(
+        self, seg_start: np.ndarray, seg_end: np.ndarray, n_quad: int = 4
+    ) -> np.ndarray:
+        """Coupling tensor of every source segment to every coil.
+
+        One batched :func:`mutual_inductance_to_loops` pass; shape
+        ``(rows*cols, n_segments)`` [H], coils row-major.
+        """
+        return mutual_inductance_to_loops(
+            seg_start,
+            seg_end,
+            [coil.polyline for coil in self.coils],
+            n_quad=n_quad,
+        )
+
+    def describe(self) -> str:
+        """One-line geometric summary of the grid."""
+        coil = self.coils[0]
+        um = 1e6
+        return (
+            f"{self.rows}x{self.cols} sensor array: "
+            f"{len(self.coils)} spirals of {coil.turns} turns, "
+            f"pitch {coil.pitch * um:.1f} um, width "
+            f"{coil.trace_width * um:.1f} um on {coil.layer_name}"
         )

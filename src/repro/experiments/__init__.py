@@ -25,6 +25,7 @@ from repro.experiments.campaign import (
     collect_spectral_record,
     get_or_fit_detector,
     get_or_generate_traces,
+    shared_array_chip,
     shared_chip,
 )
 from repro.experiments.parallel import (
@@ -52,7 +53,11 @@ from repro.experiments.baseline_power import (
     run_power_baseline,
 )
 from repro.experiments.latency import run_detection_latency
-from repro.experiments.localization import run_localization
+from repro.experiments.localization import (
+    ArrayLocalizationResult,
+    run_array_localization,
+    run_localization,
+)
 from repro.experiments.leakage import (
     run_fixed_vs_random_tvla,
     run_trojan_tvla,
@@ -78,6 +83,7 @@ __all__ = [
     "collect_spectral_record",
     "get_or_fit_detector",
     "get_or_generate_traces",
+    "shared_array_chip",
     "shared_chip",
     "CampaignSpec",
     "campaign_spec",
@@ -99,6 +105,8 @@ __all__ = [
     "run_crosschip_study",
     "run_power_baseline",
     "run_detection_latency",
+    "ArrayLocalizationResult",
+    "run_array_localization",
     "run_localization",
     "run_fixed_vs_random_tvla",
     "run_trojan_tvla",

@@ -80,6 +80,27 @@ def shared_chip(seed: int = 0, trojans: tuple[str, ...] = ALL_TROJANS) -> Chip:
     return Chip.build(config=ChipConfig(), trojans=trojans, seed=seed)
 
 
+@lru_cache(maxsize=4)
+def shared_array_chip(
+    seed: int = 0,
+    rows: int = 4,
+    cols: int = 4,
+    trojans: tuple[str, ...] = ALL_TROJANS,
+) -> Chip:
+    """Build (once) the test chip with an N×M sensor array installed.
+
+    The logic, placement, power grid, sensor and probe are identical to
+    :func:`shared_chip` — the array only *adds* receiver channels — but
+    it is memoised separately because its coupling tensor makes the
+    object larger and most campaigns never need it.
+    """
+    return Chip.build(
+        config=ChipConfig(sensor_array_rows=rows, sensor_array_cols=cols),
+        trojans=trojans,
+        seed=seed,
+    )
+
+
 _CALIBRATION_CACHE: dict[tuple[int, tuple[str, ...], str], Scenario] = {}
 
 
@@ -97,6 +118,7 @@ def clear_campaign_caches() -> None:
     """
     acquisition_engine.cache_clear()
     shared_chip.cache_clear()
+    shared_array_chip.cache_clear()
     _CALIBRATION_CACHE.clear()
     # Imported lazily: parallel imports this module at load time.
     from repro.experiments import parallel as _parallel

@@ -24,7 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.chip import silicon_scenario, simulation_scenario
+from repro.chip import array_scenario, silicon_scenario, simulation_scenario
 from repro.config import ReproConfig, active_config, use_config
 from repro.errors import ExperimentError
 from repro.experiments.ablation import sweep_pca_dimensions, threshold_study
@@ -32,7 +32,11 @@ from repro.experiments.baseline_power import (
     build_power_baseline_chip,
     run_power_baseline,
 )
-from repro.experiments.campaign import calibrated, shared_chip
+from repro.experiments.campaign import (
+    calibrated,
+    shared_array_chip,
+    shared_chip,
+)
 from repro.experiments.euclidean import run_euclidean_experiment
 from repro.experiments.fig4 import run_a2_spectrum
 from repro.experiments.fig6 import run_fig6_histograms, run_fig6_spectra
@@ -41,7 +45,10 @@ from repro.experiments.leakage import (
     run_fixed_vs_random_tvla,
     run_trojan_tvla,
 )
-from repro.experiments.localization import run_localization
+from repro.experiments.localization import (
+    run_array_localization,
+    run_localization,
+)
 from repro.experiments.result import RunResult
 from repro.experiments.snr import run_snr_experiment
 from repro.experiments.table1 import run_table1
@@ -412,6 +419,36 @@ def _run_tournament(
     return result.payload(), result.format()
 
 
+def _run_localization_array(
+    ctx: RunContext,
+    rows: int,
+    cols: int,
+    trojans: tuple,
+    n_golden: int,
+    n_eval: int,
+    n_suspect: int,
+    batch: int,
+    fieldmap_cycles: int,
+    fieldmap_grid: int,
+):
+    dims = ctx.config.sensor_array_dims()
+    if dims is not None:
+        rows, cols = dims
+    chip = shared_array_chip(seed=ctx.seed, rows=rows, cols=cols)
+    result = run_array_localization(
+        chip,
+        array_scenario(rows, cols),
+        trojans=tuple(trojans),
+        n_golden=n_golden,
+        n_eval=n_eval,
+        n_suspect=n_suspect,
+        batch=batch,
+        fieldmap_cycles=fieldmap_cycles,
+        fieldmap_grid=fieldmap_grid,
+    )
+    return result.payload(), result.format()
+
+
 DIGITAL_TROJANS = ("trojan1", "trojan2", "trojan3", "trojan4")
 
 register(ExperimentSpec(
@@ -589,6 +626,51 @@ register(ExperimentSpec(
     smoke_params={"trojans": ("trojan4",), "n_cycles": 24, "grid": 32},
     schema={"located": {"*": "str"}, "hit": {"*": "bool"}},
     paper_ref="Section II (location awareness)",
+))
+
+_HEATMAP = [["number"]]
+
+register(ExperimentSpec(
+    name="localization_array",
+    title="Sensor-array Trojan localisation (per-coil anomaly heatmap)",
+    scenario="sim",
+    runner=_run_localization_array,
+    params={
+        "rows": 4, "cols": 4,
+        "trojans": ("trojan1", "trojan2", "trojan3", "trojan4", "a2"),
+        "n_golden": 256, "n_eval": 128, "n_suspect": 128,
+        "batch": 32, "fieldmap_cycles": 48, "fieldmap_grid": 32,
+    },
+    smoke_params={
+        "rows": 4, "cols": 4,
+        "trojans": ("trojan1", "trojan2", "trojan3", "trojan4", "a2"),
+        "n_golden": 96, "n_eval": 64, "n_suspect": 64,
+        "batch": 32, "fieldmap_cycles": 24, "fieldmap_grid": 24,
+    },
+    schema={
+        "rows": "int", "cols": "int",
+        "detector": "str", "reference_free": "bool",
+        "channels": ["str"],
+        "golden": {
+            "heatmap": _HEATMAP,
+            "detected_channels": "int",
+            "flagged": "bool",
+        },
+        "trojans": {"*": {
+            "heatmap": _HEATMAP,
+            "argmax_cell": ["int"],
+            "true_cell": ["int"],
+            "hit1": "bool",
+            "hit4": "bool",
+            "centroid_distance_um": "number",
+            "detected_channels": "int",
+        }},
+        "hit1": "int", "hit4": "int",
+        "fieldmaps": {"*": {
+            "xs": ["number"], "ys": ["number"], "magnitude": _HEATMAP,
+        }},
+    },
+    paper_ref="sensor-array follow-up (Section VII outlook)",
 ))
 
 register(ExperimentSpec(

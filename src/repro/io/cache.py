@@ -54,7 +54,10 @@ from repro.io.store import (
 #: Pipeline code-version salt.  Any change that alters collector output
 #: for identical inputs must bump this, invalidating every old entry.
 #: (2: acquisition fold moved to blocked float32 — traces shift ~1e-5.)
-CACHE_SALT = "repro-pipeline-2"
+#: (3: keys gained the ``receivers`` field — the chip's installed
+#: receiver set/array geometry — so single-coil and sensor-array
+#: campaigns can never alias.)
+CACHE_SALT = "repro-pipeline-3"
 
 
 def _canon(obj):
@@ -104,6 +107,12 @@ class PipelineKey:
     chip_config: str
     scenario: str
     params: str
+    #: The chip's installed receiver channels (names + group layout).
+    #: The physical knobs behind them already live in ``chip_config``,
+    #: but binding the realised channel set directly guarantees a
+    #: sensor-array campaign and a single-coil campaign can never share
+    #: a digest even if a future config change made their configs alias.
+    receivers: str = "{}"
     salt: str = CACHE_SALT
 
     @classmethod
@@ -116,6 +125,9 @@ class PipelineKey:
             chip_config=canonical_json(chip.config),
             scenario=canonical_json(scenario),
             params=canonical_json(params),
+            receivers=canonical_json(
+                {g: list(names) for g, names in chip.receiver_groups.items()}
+            ),
         )
 
     def derived(self, label: str, **params) -> "PipelineKey":
@@ -132,6 +144,7 @@ class PipelineKey:
             chip_config=self.chip_config,
             scenario=self.scenario,
             params=canonical_json({"base": self.params, **params}),
+            receivers=self.receivers,
             salt=self.salt,
         )
 

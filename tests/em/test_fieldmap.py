@@ -27,6 +27,47 @@ def test_fieldmap_render_and_hotspot():
     assert "@" in art and len(art.splitlines()) == 8
 
 
+def test_hotspot_tie_breaks_on_lowest_flat_index():
+    xs = np.linspace(0, 1, 6)
+    ys = np.linspace(0, 1, 6)
+    mag = np.zeros((6, 6))
+    # Four-way tie: the bottom-most row, then left-most column, wins.
+    for iy, ix in [(1, 4), (3, 1), (1, 2), (4, 4)]:
+        mag[iy, ix] = 2.0
+    fm = FieldMap(xs=xs, ys=ys, magnitude=mag)
+    assert fm.hotspot() == (float(xs[2]), float(ys[1]))
+
+
+def test_fieldmap_payload_round_trip():
+    xs = np.linspace(0, 1e-3, 5)
+    ys = np.linspace(0, 2e-3, 4)
+    mag = np.arange(20, dtype=np.float64).reshape(4, 5) * 1e-9
+    fm = FieldMap(xs=xs, ys=ys, magnitude=mag)
+    back = FieldMap.from_payload(fm.as_payload())
+    np.testing.assert_array_equal(back.xs, xs)
+    np.testing.assert_array_equal(back.ys, ys)
+    np.testing.assert_array_equal(back.magnitude, mag)
+    with pytest.raises(EmModelError):
+        FieldMap.from_payload({"xs": [0.0], "ys": [0.0]})
+    with pytest.raises(EmModelError):
+        FieldMap.from_payload(
+            {"xs": [0.0, 1.0], "ys": [0.0], "magnitude": [[1.0]]}
+        )
+
+
+def test_fieldmap_save_load_round_trip(tmp_path):
+    xs = np.linspace(0, 1e-3, 7)
+    ys = np.linspace(0, 1e-3, 3)
+    mag = np.random.default_rng(5).normal(size=(3, 7))
+    fm = FieldMap(xs=xs, ys=ys, magnitude=mag)
+    npy = fm.save(tmp_path / "maps" / "diff")
+    assert npy.exists() and npy.with_suffix(".json").exists()
+    back = FieldMap.load(tmp_path / "maps" / "diff")
+    np.testing.assert_array_equal(back.xs, xs)
+    np.testing.assert_array_equal(back.ys, ys)
+    np.testing.assert_array_equal(back.magnitude, mag)
+
+
 def test_fieldmap_region_mean():
     from repro.layout.geometry import Rect
 

@@ -1,0 +1,99 @@
+"""Structure and determinism of the sensor-array localisation driver.
+
+The heavy statistical gate (hit@4 = 4/4 on T1–T4 with the golden chip
+unflagged at the full smoke size) runs in CI's ``array-smoke`` job via
+the CLI; these tests pin the driver's *contract* on a tiny grid —
+payload shape against the registered schema, heatmap geometry, the
+golden round, and the input validation paths.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chip import array_scenario
+from repro.chip.chip import Chip
+from repro.chip.config import ChipConfig
+from repro.errors import ExperimentError
+from repro.experiments import validate_payload
+from repro.experiments.localization import run_array_localization
+from repro.experiments.registry import get_spec
+
+
+@pytest.fixture(scope="module")
+def tiny_array_chip() -> Chip:
+    return Chip.build(
+        config=ChipConfig(sensor_array_rows=2, sensor_array_cols=2),
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def result(tiny_array_chip):
+    return run_array_localization(
+        tiny_array_chip,
+        array_scenario(2, 2),
+        trojans=("trojan4",),
+        n_golden=32,
+        n_eval=16,
+        n_suspect=16,
+        batch=16,
+        fieldmap_cycles=8,
+        fieldmap_grid=8,
+        cache=False,
+    )
+
+
+def test_result_structure(result):
+    assert (result.rows, result.cols) == (2, 2)
+    assert len(result.channels) == 4
+    assert set(result.outcomes) == {"trojan4"}
+    outcome = result.outcomes["trojan4"]
+    assert outcome.heatmap.shape == (2, 2)
+    assert outcome.true_cell is not None
+    assert 0 <= outcome.argmax_cell[0] < 2
+    assert np.isfinite(outcome.centroid_distance_um)
+    # The golden round carries a heatmap but no truth to compare to.
+    assert result.golden.heatmap.shape == (2, 2)
+    assert result.golden.true_cell is None
+    assert "trojan4" in result.diff_maps
+    assert isinstance(result.format(), str)
+
+
+def test_payload_matches_registered_schema(result):
+    payload = json.loads(json.dumps(result.payload()))
+    validate_payload(payload, get_spec("localization_array").schema)
+    assert payload["rows"] == 2 and payload["cols"] == 2
+    assert payload["trojans"]["trojan4"]["heatmap"][0][0] == pytest.approx(
+        float(result.outcomes["trojan4"].heatmap[0, 0])
+    )
+
+
+def test_localization_is_deterministic(tiny_array_chip, result):
+    again = run_array_localization(
+        tiny_array_chip,
+        array_scenario(2, 2),
+        trojans=("trojan4",),
+        n_golden=32,
+        n_eval=16,
+        n_suspect=16,
+        batch=16,
+        fieldmap_cycles=8,
+        fieldmap_grid=8,
+        cache=False,
+    )
+    np.testing.assert_array_equal(
+        again.outcomes["trojan4"].heatmap,
+        result.outcomes["trojan4"].heatmap,
+    )
+    assert again.outcomes["trojan4"].argmax_cell == (
+        result.outcomes["trojan4"].argmax_cell
+    )
+
+
+def test_rejects_chip_without_array(chip):
+    with pytest.raises(ExperimentError, match="sensor array"):
+        run_array_localization(chip, array_scenario(2, 2))

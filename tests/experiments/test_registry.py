@@ -27,14 +27,15 @@ from repro.chip import simulation_scenario
 EXPECTED_EXPERIMENTS = {
     "table1", "snr", "snr_silicon", "euclidean", "fig4",
     "fig6_histograms", "fig6_spectra", "latency", "ablation",
-    "leakage", "localization", "baseline_power", "detector_tournament",
+    "leakage", "localization", "localization_array", "baseline_power",
+    "detector_tournament",
 }
 
 
 class TestRegistry:
-    def test_all_thirteen_experiments_registered(self):
+    def test_all_fourteen_experiments_registered(self):
         assert set(REGISTRY) == EXPECTED_EXPERIMENTS
-        assert len(all_specs()) == 13
+        assert len(all_specs()) == 14
 
     def test_specs_are_well_formed(self):
         for spec in all_specs():

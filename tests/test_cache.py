@@ -85,6 +85,35 @@ def test_canonical_json_sorts_and_normalises():
     assert a == b
 
 
+def test_pipeline_key_binds_receiver_topology(chip, sim_scenario):
+    """An array chip and a plain chip must never share cache entries.
+
+    The netlist, placement and scenario of the two chips are identical
+    — only the installed receiver set differs — so the receiver-group
+    topology has to be part of the key (the regression that motivated
+    the ``receivers`` field and the salt bump).
+    """
+    from repro.chip.chip import Chip
+    from repro.chip.config import ChipConfig
+
+    array_chip = Chip.build(
+        config=ChipConfig(sensor_array_rows=2, sensor_array_cols=2),
+        seed=chip.seed,
+    )
+    plain = campaign_pipeline_key(chip, sim_scenario, "ed", dict(ED_PARAMS))
+    arrayed = campaign_pipeline_key(
+        array_chip, sim_scenario, "ed", dict(ED_PARAMS)
+    )
+    assert plain.receivers != arrayed.receivers
+    assert plain.digest() != arrayed.digest()
+    # The topology threads through derived artifact keys too.
+    assert (
+        plain.derived("detector").digest()
+        != arrayed.derived("detector").digest()
+    )
+    assert arrayed.derived("detector").receivers == arrayed.receivers
+
+
 # -- store behaviour -----------------------------------------------------
 
 

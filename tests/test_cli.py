@@ -16,7 +16,10 @@ class TestList:
         out = capsys.readouterr().out
         for name in REGISTRY:
             assert name in out
-        assert "13 experiments" in out
+        assert "14 experiments" in out
+        # Every spec line is followed by its payload schema sketch.
+        assert out.count("payload:") == len(REGISTRY)
+        assert "hit1:int" in out  # localization_array's schema
 
 
 class TestDetectors:

@@ -24,9 +24,11 @@ from repro.config import (
     FLEET_SHARDS_ENV_VAR,
     FLEET_TRANSPORT_ENV_VAR,
     FORCE_POOL_ENV_VAR,
+    SENSOR_ARRAY_ENV_VAR,
     SMOKE_ENV_VAR,
     WORKERS_ENV_VAR,
     ReproConfig,
+    parse_sensor_array,
     active_config,
     use_config,
 )
@@ -289,3 +291,38 @@ class TestPoolDegrade:
         assert ReproConfig().cache_bytes() is None
         cfg = ReproConfig(cache_dir="/tmp/c", cache_mb=3)
         assert cfg.cache_bytes() == 3 * 1024 * 1024
+
+
+class TestSensorArrayKnob:
+    def test_unset_by_default(self):
+        cfg = ReproConfig.resolve(environ={})
+        assert cfg.sensor_array is None
+        assert cfg.sensor_array_dims() is None
+
+    def test_parse_canonicalises(self):
+        assert parse_sensor_array("") is None
+        assert parse_sensor_array("4x4") == "4x4"
+        assert parse_sensor_array("04x4") == "4x4"
+        assert parse_sensor_array("2X8") == "2x8"
+
+    @pytest.mark.parametrize("raw", ["4", "4x", "x4", "4x4x4", "axb",
+                                     "0x4", "4x-1"])
+    def test_parse_rejects_malformed(self, raw):
+        with pytest.raises(ConfigError):
+            parse_sensor_array(raw)
+
+    def test_environment_resolution(self):
+        cfg = ReproConfig.resolve(environ={SENSOR_ARRAY_ENV_VAR: "3x5"})
+        assert cfg.sensor_array == "3x5"
+        assert cfg.sensor_array_dims() == (3, 5)
+
+    def test_constructor_canonicalises_and_validates(self):
+        assert ReproConfig(sensor_array="08x2").sensor_array == "8x2"
+        with pytest.raises(ConfigError):
+            ReproConfig(sensor_array="nope")
+        with pytest.raises(ConfigError):
+            ReproConfig(sensor_array=4)  # type: ignore[arg-type]
+
+    def test_describe_round_trip(self):
+        cfg = ReproConfig(sensor_array="4x4")
+        assert ReproConfig.from_snapshot(cfg.describe()) == cfg
